@@ -1,0 +1,24 @@
+"""Shared benchmark configuration.
+
+Every benchmark regenerates one paper figure through the experiment
+harness and asserts the paper's qualitative result on the output, so a
+``--benchmark-only`` run doubles as the reproduction record.  Heavy
+experiments (Figs 14-20) run a single round via ``benchmark.pedantic``;
+the characterization experiments (Figs 1-13) are fast enough for normal
+timing rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a heavy experiment with exactly one execution."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

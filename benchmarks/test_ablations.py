@@ -1,0 +1,34 @@
+"""Bench: ablations of SNS design choices (beyond the paper's figures).
+
+Checks that the mechanisms the paper argues for actually carry weight
+in this reproduction: residual-way sharing and the near-tie footprint
+tolerance contribute measurable throughput; MBA-style enforcement and
+bandwidth headroom trade throughput for fewer alpha violations.
+"""
+
+from repro.experiments.ablations import format_ablation, run_ablation
+
+
+def test_ablation_study(once, benchmark):
+    result = once(benchmark, run_ablation, n_sequences=12, n_jobs=20)
+    baseline = result.get("baseline")
+    assert baseline.mean_gain_over_ce > 0.08
+
+    # Residual-way sharing carries real throughput.
+    no_share = result.get("no-residual-share")
+    assert no_share.mean_gain_over_ce < baseline.mean_gain_over_ce - 0.01
+
+    # The near-tie footprint tolerance reduces fragmentation.
+    no_tol = result.get("no-tolerance")
+    assert no_tol.mean_gain_over_ce <= baseline.mean_gain_over_ce + 0.005
+
+    # Conservative variants trade throughput for QoS (fewer violations).
+    headroom = result.get("headroom-0.8")
+    assert headroom.alpha_violations <= baseline.alpha_violations
+
+    # Restricting scales loses some of the spreading benefit.
+    limited = result.get("scales-1-2")
+    assert limited.mean_gain_over_ce <= baseline.mean_gain_over_ce + 0.005
+
+    print()
+    print(format_ablation(result))

@@ -1,0 +1,16 @@
+"""Bench: four-way baseline comparison with wide jobs.
+
+SNS's resource awareness must be worth more than EASY backfilling's
+queue flexibility alone: it wins most sequences against backfilled CE.
+"""
+
+from repro.experiments.baselines import format_baselines, run_baselines
+
+
+def test_baselines_with_wide_jobs(once, benchmark):
+    result = once(benchmark, run_baselines, n_sequences=12, n_jobs=20)
+    assert result.mean_gain("SNS") > result.mean_gain("CE-BF")
+    assert result.mean_gain("SNS") > result.mean_gain("CS")
+    assert result.wins_over("SNS", "CE-BF") >= 8
+    print()
+    print(format_baselines(result))

@@ -1,0 +1,19 @@
+"""Bench: Fig 1 — motivating MG+HC+TS example.
+
+Paper: SNS packs the three programs onto 2 nodes instead of CE's 3,
+cutting node-seconds by 34.6 % while MG and TS run *faster* and the
+start-to-end time grows only 2.6 %.
+"""
+
+from repro.experiments.fig01_motivating import format_fig01, run_fig01
+
+
+def test_fig01_motivating_example(benchmark):
+    result = benchmark(run_fig01)
+    saved = 1.0 - result.node_seconds["SNS"] / result.node_seconds["CE"]
+    assert saved > 0.20
+    assert result.makespan["SNS"] / result.makespan["CE"] < 1.15
+    assert result.program_time["SNS"]["MG"] < result.program_time["CE"]["MG"]
+    assert result.program_time["SNS"]["TS"] < result.program_time["CE"]["TS"]
+    print()
+    print(format_fig01(result))

@@ -1,0 +1,20 @@
+"""Bench: Fig 2 — scaling behaviour of 16-process runs.
+
+Paper: MG benefits most from spreading, CG peaks at 2 nodes, EP is
+flat, BFS performs best on a single node.
+"""
+
+from repro.experiments.fig02_scaling import format_fig02, run_fig02
+
+
+def test_fig02_scaling_behaviour(benchmark):
+    result = benchmark(run_fig02)
+    speedup = result.speedup
+    assert max(speedup["MG"].values()) == max(
+        max(s.values()) for s in speedup.values()
+    )
+    assert speedup["CG"][2] > speedup["CG"][4] > speedup["CG"][8]
+    assert all(abs(s - 1.0) < 0.05 for s in speedup["EP"].values())
+    assert all(s <= 1.0 for s in speedup["BFS"].values())
+    print()
+    print(format_fig02(result))

@@ -1,0 +1,19 @@
+"""Bench: Fig 3 — STREAM bandwidth with growing core count.
+
+Paper: 18.80 GB/s single-core, ~37 GB/s at two cores, knee near 8
+cores, 118.26 GB/s at 28 cores (per-core down to 4.22 GB/s).
+"""
+
+import pytest
+
+from repro.experiments.fig03_stream import format_fig03, run_fig03
+
+
+def test_fig03_stream_curve(benchmark):
+    result = benchmark(run_fig03)
+    assert result.aggregate[1] == pytest.approx(18.8, rel=0.02)
+    assert result.aggregate[28] == pytest.approx(118.26, rel=0.01)
+    assert result.per_core[28] == pytest.approx(4.22, rel=0.02)
+    assert 6 <= result.saturation_cores <= 10
+    print()
+    print(format_fig03(result))

@@ -1,0 +1,21 @@
+"""Bench: Fig 4 — per-node memory-bandwidth consumption by placement.
+
+Paper: MG draws ~112 GB/s solo (node saturated) and ~67.6 GB/s per node
+at two nodes; EP/BFS are bandwidth-light solo; BFS's bandwidth rises
+when spread.
+"""
+
+import pytest
+
+from repro.experiments.fig04_bandwidth import format_fig04, run_fig04
+
+
+def test_fig04_bandwidth_by_placement(benchmark):
+    result = benchmark(run_fig04)
+    bw = result.bandwidth
+    assert bw["MG"][1] > 105.0
+    assert bw["MG"][2] == pytest.approx(67.6, rel=0.15)
+    assert bw["EP"][1] < 0.5
+    assert bw["BFS"][2] > bw["BFS"][1]
+    print()
+    print(format_fig04(result))

@@ -1,0 +1,17 @@
+"""Bench: Fig 5 — impact of scaling on LLC miss rate.
+
+Paper: MG's and CG's miss rates drop with spreading (more cache per
+process); BFS's rises (communication-related accesses).
+"""
+
+from repro.experiments.fig05_missrate import format_fig05, run_fig05
+
+
+def test_fig05_missrate_by_placement(benchmark):
+    result = benchmark(run_fig05)
+    rates = result.miss_rate
+    assert rates["MG"][8] < rates["MG"][1]
+    assert rates["CG"][8] < rates["CG"][1]
+    assert rates["BFS"][8] > rates["BFS"][1]
+    print()
+    print(format_fig05(result))

@@ -1,0 +1,17 @@
+"""Bench: Fig 6 — performance vs LLC way allocation (CAT sweep).
+
+Paper: MG reaches 90 % of full-cache performance with ~3 ways, CG with
+~10, BFS needs ~18, EP is insensitive.
+"""
+
+from repro.experiments.fig06_cache_sensitivity import format_fig06, run_fig06
+
+
+def test_fig06_cache_sensitivity(benchmark):
+    result = benchmark(run_fig06)
+    assert result.ways90["MG"] <= 4
+    assert 8 <= result.ways90["CG"] <= 12
+    assert result.ways90["BFS"] >= 13
+    assert result.ways90["EP"] <= 2
+    print()
+    print(format_fig06(result))

@@ -1,0 +1,17 @@
+"""Bench: Fig 7 — computation vs communication breakdown.
+
+Paper: NPB programs communicate for <10 % of runtime; CG's comm share
+shrinks when spread (wait relief); BFS's grows until it dominates its
+scaling loss.
+"""
+
+from repro.experiments.fig07_comm_breakdown import format_fig07, run_fig07
+
+
+def test_fig07_comm_breakdown(benchmark):
+    result = benchmark(run_fig07)
+    assert result.breakdown["MG"][1][1] < 0.10
+    assert result.breakdown["CG"][2][1] < result.breakdown["CG"][1][1]
+    assert result.breakdown["BFS"][8][1] > result.breakdown["BFS"][1][1]
+    print()
+    print(format_fig07(result))

@@ -1,0 +1,21 @@
+"""Bench: Fig 12 — cache sensitivity of all 12 test programs through
+the profiling pipeline.
+
+Paper: cache-insensitive programs (EP, HC) are happy with 2 ways while
+cache-hungry ones (NW, CG) demand most of the cache, with very
+different bandwidth at the near-saturation allocation.
+"""
+
+from repro.experiments.fig12_profiles import format_fig12, run_fig12
+
+
+def test_fig12_program_profiles(benchmark):
+    result = benchmark(run_fig12)
+    assert len(result.ways90) == 12
+    assert result.ways90["EP"] == 2
+    assert result.ways90["CG"] >= 8
+    assert result.ways90["NW"] >= 10
+    assert result.bandwidth["MG"] > 80.0
+    assert result.bandwidth["EP"] < 1.0
+    print()
+    print(format_fig12(result))

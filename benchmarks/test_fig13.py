@@ -1,0 +1,22 @@
+"""Bench: Fig 13 — speedup of scaling out + program classification.
+
+Paper: 5 scaling programs (MG CG LU TS BW; CG peaking at 2x with +13 %,
+the others >30 % at their best scale), 1 compact (BFS), 4 neutral
+(EP WC NW HC).
+"""
+
+from repro.experiments.fig13_scaleout import format_fig13, run_fig13
+from repro.profiling.classify import ScalingClass
+
+
+def test_fig13_scaleout_classification(benchmark):
+    result = benchmark(run_fig13)
+    census = {}
+    for cls in result.classification.values():
+        census[cls] = census.get(cls, 0) + 1
+    assert census[ScalingClass.SCALING] == 5
+    assert census[ScalingClass.COMPACT] == 1
+    assert census[ScalingClass.NEUTRAL] == 4
+    assert result.ideal_scale["CG"] == 2
+    print()
+    print(format_fig13(result))

@@ -1,0 +1,18 @@
+"""Bench: Fig 14 — throughput of 36 random job sequences.
+
+Paper: mean throughput gain over CE of 13.7 % (CS) and 19.8 % (SNS);
+scaling ratios fall in 0.4-0.8.
+"""
+
+from repro.experiments.fig14_throughput import format_fig14, run_fig14
+
+
+def test_fig14_throughput_36_sequences(once, benchmark):
+    result = once(benchmark, run_fig14, n_sequences=36, n_jobs=20)
+    assert result.mean_gain("SNS") > 0.08          # paper: +19.8 %
+    assert result.mean_gain("CS") > 0.02           # paper: +13.7 %
+    assert result.mean_gain("SNS") > result.mean_gain("CS")
+    ratios = [o.scaling_ratio for o in result.outcomes]
+    assert min(ratios) >= 0.2 and max(ratios) <= 0.9
+    print()
+    print(format_fig14(result))

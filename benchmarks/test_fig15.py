@@ -1,0 +1,19 @@
+"""Bench: Fig 15 — sorted SNS/CE and SNS/CS throughput ratios.
+
+Paper: SNS improves on CE in 35/36 sequences (up to +42.1 %) and beats
+CS in 72 % of them.
+"""
+
+from repro.experiments.fig14_throughput import run_fig14
+from repro.experiments.fig15_relative import format_fig15, from_fig14
+
+
+def test_fig15_relative_throughput(once, benchmark):
+    fig14 = once(benchmark, run_fig14, n_sequences=36, n_jobs=20)
+    result = from_fig14(fig14)
+    losses = sum(1 for r in result.sns_over_ce if r < 1.0)
+    assert losses <= 2                      # paper: 1/36
+    assert result.ce_max_gain > 0.15        # paper: +42.1 %
+    assert result.cs_win_fraction > 0.5     # paper: 72 %
+    print()
+    print(format_fig15(result))

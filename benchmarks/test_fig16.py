@@ -1,0 +1,23 @@
+"""Bench: Fig 16 — individual job run-time distribution.
+
+Paper: SNS's per-sequence average normalized runtime stays below CS's;
+CS's worst-case job slowdown reaches 3.5x; a small tail of SNS jobs
+violates the alpha = 0.9 slowdown threshold.
+"""
+
+from repro.experiments.fig14_throughput import run_fig14
+from repro.experiments.fig16_runtime import format_fig16, from_fig14
+
+
+def test_fig16_runtime_distribution(once, benchmark):
+    fig14 = once(benchmark, run_fig14, n_sequences=36, n_jobs=20)
+    result = from_fig14(fig14)
+    for entry in result.per_sequence:
+        assert entry["SNS"]["geomean"] <= entry["CS"]["geomean"] + 0.02
+    cs_worst = max(e["CS"]["max"] for e in result.per_sequence)
+    sns_worst = max(e["SNS"]["max"] for e in result.per_sequence)
+    assert cs_worst > sns_worst
+    v = result.alpha_violations
+    assert v.violations <= 0.35 * v.total_jobs
+    print()
+    print(format_fig16(result))

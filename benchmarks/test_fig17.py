@@ -1,0 +1,16 @@
+"""Bench: Fig 17 — per-node bandwidth heat matrix, CE vs SNS.
+
+Paper: SNS's matrix is visibly smoother than CE's — spreading
+bandwidth-bound jobs balances DRAM pressure across nodes.
+"""
+
+from repro.experiments.fig17_load_balance import format_fig17, run_fig17
+
+
+def test_fig17_load_balance_matrix(once, benchmark):
+    result = once(benchmark, run_fig17, seed=42, n_jobs=20)
+    assert result.variance["SNS"] < result.variance["CE"]
+    for matrix in result.matrices.values():
+        assert matrix.shape[0] == 8
+    print()
+    print(format_fig17(result))

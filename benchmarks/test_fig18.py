@@ -1,0 +1,30 @@
+"""Bench: Fig 18 — episode counts by bandwidth interval.
+
+Paper: SNS removes both near-idle and near-peak episodes; the
+bandwidth variance (sigma/peak) drops from 0.40 (CE) to 0.25 (SNS).
+"""
+
+import numpy as np
+
+from repro.experiments.fig17_load_balance import run_fig17
+from repro.experiments.fig18_histogram import format_fig18, from_fig17
+
+
+def test_fig18_bandwidth_histogram(once, benchmark):
+    fig17 = once(benchmark, run_fig17, seed=42, n_jobs=20)
+    result = from_fig17(fig17)
+    # The smoothing claim: lower episode-bandwidth variance under SNS.
+    assert result.variance["SNS"] < result.variance["CE"]
+    # Histograms cover every episode of their matrices.
+    for policy, (edges, counts) in result.histograms.items():
+        assert counts.sum() == fig17.matrices[policy].size
+        assert len(edges) == len(counts) + 1
+    # SNS concentrates mass away from the extremes relative to spread:
+    # its mean-normalized dispersion is tighter.
+    ce = fig17.matrices["CE"].ravel()
+    sns = fig17.matrices["SNS"].ravel()
+    assert np.std(sns) / max(np.mean(sns), 1e-9) < np.std(ce) / max(
+        np.mean(ce), 1e-9
+    )
+    print()
+    print(format_fig18(result))

@@ -1,0 +1,21 @@
+"""Bench: Fig 19 — impact of the workload scaling ratio (BW/HC mixes).
+
+Paper: at ratio 0 SNS converges with CE; run time improves
+monotonically with the ratio; turnaround beats CE by >10 % over the
+mid-ratio range.
+"""
+
+import pytest
+
+from repro.experiments.fig19_scaling_ratio import format_fig19, run_fig19
+
+
+def test_fig19_scaling_ratio_sweep(once, benchmark):
+    result = once(benchmark, run_fig19, n_points=11, n_jobs=30)
+    first, last = result.points[0], result.points[-1]
+    assert first.turnaround == pytest.approx(1.0, abs=0.02)
+    assert last.run < first.run - 0.05
+    mids = [p for p in result.points if 0.3 <= p.achieved_ratio <= 0.9]
+    assert any(p.turnaround < 0.9 for p in mids)
+    print()
+    print(format_fig19(result))

@@ -1,0 +1,39 @@
+"""Bench: Fig 20 — trace-driven simulation of larger clusters.
+
+Paper: the 4K-node replay is stampeded (wait-dominated); on relaxed
+larger clusters SNS's run-time reduction dominates and its advantage
+over CE grows with cluster size at scaling ratio 0.9.
+
+The benchmark replays a reduced trace with the same per-node load
+intensity (the full 7,044-job configuration runs via
+``python -m repro run fig20``).
+"""
+
+from repro.experiments.fig20_large_cluster import (
+    format_fig20,
+    run_fig20,
+    smoke_trace_config,
+)
+
+
+def test_fig20_large_cluster_trace(once, benchmark):
+    result = once(
+        benchmark, run_fig20,
+        cluster_sizes=(4096, 8192, 16384),
+        scaling_ratios=(0.9, 0.5),
+        trace_config=smoke_trace_config(n_jobs=400, duration_hours=110),
+    )
+    congested = result.get(4096, 0.9)
+    assert congested.ce_wait > congested.ce_run  # stampeded
+    for nodes in (8192, 16384):
+        relaxed = result.get(nodes, 0.9)
+        assert relaxed.ce_wait < relaxed.ce_run
+        assert relaxed.sns_run < relaxed.ce_run
+        assert relaxed.sns_turnaround_gain > 0.05
+    # At ratio 0.5 the spread benefit is smaller on relaxed clusters.
+    assert (
+        result.get(16384, 0.5).sns_turnaround_gain
+        < result.get(16384, 0.9).sns_turnaround_gain
+    )
+    print()
+    print(format_fig20(result))

@@ -1,0 +1,20 @@
+"""Bench: online-profiling convergence (paper Sections 4.1-4.2).
+
+A new program converges to its preferred scale within a handful of
+piggybacked trial runs, starting from the CE execution model.
+"""
+
+from repro.experiments.online_profiling import (
+    format_convergence,
+    run_convergence,
+)
+
+
+def test_online_profiling_convergence(once, benchmark):
+    result = once(benchmark, run_convergence, "CG", repetitions=8)
+    assert result.repetitions[0].scale == 1       # first run is CE-like
+    assert result.converged                        # ends at preferred scale
+    assert result.converged_scale == 2             # CG's ideal: 2x
+    assert result.repetitions[-1].normalized_runtime < 0.95
+    print()
+    print(format_convergence(result))

@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Trace-driven large-cluster simulation (the paper's Fig 20, reduced).
+
+Synthesizes a Trinity-like job trace, replays it under CE and SNS on
+simulated clusters of 4,096 and 8,192 nodes, and prints the wait/run
+breakdown.  The full-size replay (7,044 jobs, four cluster sizes, two
+scaling ratios) runs via:
+
+    python -m repro run fig20            # full paper configuration
+    python examples/large_cluster_trace.py [n_jobs]   # reduced demo
+"""
+
+import sys
+import time
+
+from repro.experiments.fig20_large_cluster import (
+    format_fig20,
+    run_fig20,
+    smoke_trace_config,
+)
+
+
+def main() -> None:
+    n_jobs = int(sys.argv[1]) if len(sys.argv) > 1 else 600
+    duration = 160.0 * n_jobs / 600.0
+    print(f"Synthesizing a {n_jobs}-job Trinity-like trace "
+          f"({duration:.0f} simulated hours) ...")
+    t0 = time.time()
+    result = run_fig20(
+        cluster_sizes=(4096, 8192),
+        scaling_ratios=(0.9, 0.5),
+        trace_config=smoke_trace_config(n_jobs=n_jobs,
+                                        duration_hours=duration),
+    )
+    print(format_fig20(result))
+    print(f"\n(4 cluster configurations x 2 policies simulated in "
+          f"{time.time() - t0:.1f}s wall time)")
+    congested = result.get(4096, 0.9)
+    relaxed = result.get(8192, 0.9)
+    print(f"4K @0.9: wait-dominated ({congested.ce_wait:.0%} of CE "
+          f"turnaround is wait)")
+    print(f"8K @0.9: SNS turnaround gain {relaxed.sns_turnaround_gain:+.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Profiling pipeline demo: Kunafa-style trial ladders for every program.
+
+Runs the scaling trial ladder (exclusive runs at 1x/2x/4x/8x with
+LLC-manipulation sampling) for all 12 catalog programs, classifies them
+(scaling / compact / neutral), identifies the constraining resource, and
+saves/reloads the JSON profile database exactly as Uberun stores it.
+
+    python examples/profile_and_classify.py [output.json]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import NodeSpec, PROGRAMS, ProfileDatabase
+from repro.profiling.profiler import profile_program
+
+
+def main() -> None:
+    spec = NodeSpec()
+    db = ProfileDatabase()
+
+    print(f"{'prog':5s} {'class':8s} {'ideal':>5s} {'bound':>10s}  "
+          f"exclusive time by scale")
+    for name, program in PROGRAMS.items():
+        profile = profile_program(
+            program, procs=16, spec=spec, max_cluster_nodes=8,
+            max_degradation=float("inf"),
+        )
+        db.put(16, profile)
+        times = "  ".join(
+            f"{k}x:{p.time_s:7.1f}s" for k, p in sorted(profile.scales.items())
+        )
+        bound = profile.constraining_resource(spec) or "-"
+        print(f"{name:5s} {profile.scaling_class.value:8s} "
+              f"{profile.ideal_scale:>4}x {bound:>10s}  {times}")
+
+    out = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(tempfile.gettempdir()) / "sns_profiles.json"
+    )
+    db.save(out)
+    reloaded = ProfileDatabase.load(out)
+    assert len(reloaded) == len(db)
+    print(f"\nProfile database saved to {out} "
+          f"({len(db)} profiles, JSON round-trip verified)")
+
+    cg = reloaded.get("CG", 16).get(1)
+    print("\nCG IPC-LLC curve (profiled at 2/4/8/20 ways, interpolated):")
+    for w in (2, 4, 6, 8, 10, 12, 16, 20):
+        bar = "#" * int(cg.ipc_llc(float(w)) * 40)
+        print(f"  {w:2d} ways  {cg.ipc_llc(float(w)):5.2f} IPC  {bar}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+"""repro — a full reproduction of *Spread-n-Share* (SC '19).
+
+Spread-n-Share (SNS) is a batch-scheduling strategy that automatically
+scales resource-bound parallel jobs out onto more nodes and co-locates
+resource-compatible jobs on shared nodes, using per-program profiles of
+LLC-way sensitivity and memory-bandwidth consumption plus CAT-style
+cache-way partitioning.
+
+Quickstart::
+
+    from repro import (
+        ClusterSpec, Simulation, SpreadNShareScheduler, random_sequence,
+    )
+
+    cluster = ClusterSpec(num_nodes=8)
+    jobs = random_sequence(seed=1, n_jobs=20)
+    policy = SpreadNShareScheduler(cluster)
+    result = Simulation(cluster, policy, jobs).run()
+    print(result.throughput())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every reproduced figure.
+"""
+
+from repro.config import SchedulerConfig, SimConfig
+from repro.apps import PROGRAMS, ProgramSpec, get_program, program_names
+from repro.hardware import ClusterSpec, NodeSpec
+from repro.profiling import OnlineProfileStore, ProfileDatabase, profile_program
+from repro.scheduling import (
+    CompactExclusiveScheduler,
+    CompactShareScheduler,
+    OnlineSpreadNShareScheduler,
+    SpreadNShareScheduler,
+)
+from repro.sim import Job, Simulation, SimulationResult
+from repro.workloads import (
+    controlled_mix,
+    mix_ladder,
+    random_sequence,
+    random_sequences,
+    synthesize_trace,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SchedulerConfig",
+    "SimConfig",
+    "PROGRAMS",
+    "ProgramSpec",
+    "get_program",
+    "program_names",
+    "ClusterSpec",
+    "NodeSpec",
+    "ProfileDatabase",
+    "OnlineProfileStore",
+    "profile_program",
+    "CompactExclusiveScheduler",
+    "CompactShareScheduler",
+    "SpreadNShareScheduler",
+    "OnlineSpreadNShareScheduler",
+    "Job",
+    "Simulation",
+    "SimulationResult",
+    "random_sequence",
+    "random_sequences",
+    "controlled_mix",
+    "mix_ladder",
+    "synthesize_trace",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Application models: parametric curves, program specs, the 12-program catalog.
+
+The paper evaluates 12 programs drawn from HiBench, NPB, Graph500,
+TensorFlow-Examples, and SPEC CPU 2006.  We cannot run the real binaries,
+so each program is a :class:`~repro.apps.program.ProgramSpec` — an analytic
+model whose parameters are calibrated against every number the paper
+reports about that program (solo bandwidth, cache-way sensitivity,
+scaling-out speedups, communication share).
+"""
+
+from repro.apps.curves import PiecewiseLinearCurve, WorkingSetMissCurve
+from repro.apps.program import CommModel, ProgramSpec
+from repro.apps.catalog import (
+    PROGRAMS,
+    get_program,
+    program_names,
+    stream_program,
+)
+from repro.apps.frameworks import Framework, framework_of
+
+__all__ = [
+    "PiecewiseLinearCurve",
+    "WorkingSetMissCurve",
+    "CommModel",
+    "ProgramSpec",
+    "PROGRAMS",
+    "get_program",
+    "program_names",
+    "stream_program",
+    "Framework",
+    "framework_of",
+]

@@ -1,0 +1,72 @@
+"""Parallel-framework adapters (paper Sections 3.3 and 5.1).
+
+Uberun schedules *across* frameworks (MPI, Spark, TensorFlow) plus
+replicated sequential programs, launching jobs on top of whichever
+framework a program needs.  In the simulator the framework determines:
+
+* which process-count / node-footprint combinations are valid (MPI NPB
+  programs need power-of-two process splits; the TensorFlow examples are
+  single-node multi-threaded; Spark and sequential replicas are flexible);
+* how core binding is actuated (all frameworks here support per-node core
+  limits — the paper had to patch TensorFlow application code for this,
+  which we model as supported-but-single-node).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.errors import ConfigError
+
+
+class Framework(enum.Enum):
+    """Execution framework of a program."""
+
+    MPI = "mpi"
+    SPARK = "spark"
+    TENSORFLOW = "tensorflow"
+    SEQUENTIAL = "sequential"
+
+    @property
+    def multi_node(self) -> bool:
+        """Whether jobs of this framework can span nodes.
+
+        The paper's two TensorFlow programs (GAN, RNN) are multi-threaded
+        but unable to run on multiple nodes (Section 6.1).
+        """
+        return self is not Framework.TENSORFLOW
+
+    @property
+    def power_of_two_split(self) -> bool:
+        """Whether processes must divide into power-of-two node groups
+        (NPB MPI programs require power-of-2 process counts)."""
+        return self is Framework.MPI
+
+    def validate_footprint(self, processes: int, n_nodes: int) -> None:
+        """Raise :class:`ConfigError` if ``processes`` cannot be launched
+        across ``n_nodes`` under this framework."""
+        if processes < 1 or n_nodes < 1:
+            raise ConfigError("processes and n_nodes must be positive")
+        if n_nodes > processes:
+            raise ConfigError(
+                f"{self.value}: cannot use {n_nodes} nodes for "
+                f"{processes} processes"
+            )
+        if not self.multi_node and n_nodes > 1:
+            raise ConfigError(
+                f"{self.value}: single-node framework cannot span "
+                f"{n_nodes} nodes"
+            )
+        if self.power_of_two_split and processes % n_nodes != 0:
+            raise ConfigError(
+                f"{self.value}: {processes} processes do not divide evenly "
+                f"across {n_nodes} nodes"
+            )
+
+
+def framework_of(name: str) -> Framework:
+    """Parse a framework name as stored in :class:`ProgramSpec`."""
+    try:
+        return Framework(name)
+    except ValueError:
+        raise ConfigError(f"unknown framework {name!r}") from None

@@ -1,0 +1,135 @@
+"""Command-line interface: ``repro-sns`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    List the reproducible experiments.
+``run <fig-id>``
+    Run one experiment and print its table (e.g. ``repro-sns run fig13``).
+``profile <program> [--procs N]``
+    Run the profiling trial ladder for one catalog program and print the
+    resulting profile.
+``simulate [--policy SNS] [--seed N] [--jobs N] [--nodes N]``
+    Schedule one random sequence and print the schedule summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import __version__
+from repro.apps.catalog import get_program, program_names
+from repro.config import SimConfig
+from repro.errors import ReproError
+from repro.experiments.common import run_policy
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.hardware.topology import ClusterSpec
+from repro.profiling.profiler import profile_program
+from repro.workloads.sequences import random_sequence
+
+
+def _cmd_list(_: argparse.Namespace) -> int:
+    for exp_id in sorted(EXPERIMENTS, key=lambda s: (len(s), s)):
+        print(f"{exp_id:7s} {EXPERIMENTS[exp_id].description}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    experiment = get_experiment(args.experiment)
+    kwargs = experiment.quick_kwargs if args.quick else {}
+    if args.quick and not kwargs:
+        print(f"(note: {args.experiment} has no reduced mode; running full)")
+    result = experiment.run(**kwargs)
+    print(experiment.render(result))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    program = get_program(args.program)
+    cluster = ClusterSpec(num_nodes=args.nodes)
+    profile = profile_program(
+        program, args.procs, cluster.node, cluster.num_nodes
+    )
+    print(f"{program.name}: class={profile.scaling_class.value}, "
+          f"ideal scale={profile.ideal_scale}x")
+    for k in sorted(profile.scales):
+        sp = profile.scales[k]
+        print(f"  {k}x on {sp.n_nodes} node(s): {sp.time_s:.1f}s, "
+              f"IPC@full={sp.ipc_llc(20.0):.2f}, "
+              f"BW/proc@full={sp.bw_llc(20.0):.2f} GB/s")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cluster = ClusterSpec(num_nodes=args.nodes)
+    jobs = random_sequence(seed=args.seed, n_jobs=args.jobs)
+    result = run_policy(
+        args.policy, cluster, jobs, sim_config=SimConfig(telemetry=False)
+    )
+    print(f"{args.policy} on {args.nodes} nodes, {args.jobs} jobs "
+          f"(seed {args.seed}):")
+    print(f"  makespan      {result.makespan:10.1f} s")
+    print(f"  throughput    {result.throughput() * 1e3:10.4f} /ks")
+    print(f"  node-seconds  {result.node_seconds():10.0f}")
+    for job in sorted(result.finished_jobs, key=lambda j: j.job_id):
+        placement = job.placement
+        print(f"  job {job.job_id:3d} {job.program.name:4s} "
+              f"p{job.procs:<3d} k={job.scale_factor} "
+              f"nodes={placement.n_nodes} ways={placement.dedicated_ways:2d} "
+              f"wait={job.wait_time:8.1f}s run={job.run_time:8.1f}s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sns",
+        description="Spread-n-Share (SC '19) reproduction toolkit",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list reproducible experiments")
+
+    p_run = sub.add_parser("run", help="run one experiment")
+    p_run.add_argument("experiment", help="experiment id, e.g. fig13")
+    p_run.add_argument(
+        "--quick", action="store_true",
+        help="reduced configuration for heavy experiments (fig14-16, fig20)",
+    )
+
+    p_prof = sub.add_parser("profile", help="profile one catalog program")
+    p_prof.add_argument("program", choices=program_names())
+    p_prof.add_argument("--procs", type=int, default=16)
+    p_prof.add_argument("--nodes", type=int, default=8)
+
+    p_sim = sub.add_parser("simulate", help="simulate one random sequence")
+    p_sim.add_argument("--policy", choices=("CE", "CS", "SNS"),
+                       default="SNS")
+    p_sim.add_argument("--seed", type=int, default=1)
+    p_sim.add_argument("--jobs", type=int, default=20)
+    p_sim.add_argument("--nodes", type=int, default=8)
+
+    return parser
+
+
+_COMMANDS = {
+    "list": _cmd_list,
+    "run": _cmd_run,
+    "profile": _cmd_profile,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,47 @@
+"""Exception hierarchy for the SNS reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures distinctly from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigError(ReproError):
+    """Invalid cluster, scheduler, or simulation configuration."""
+
+
+class HardwareModelError(ReproError):
+    """Invalid parameters or state inside a hardware model."""
+
+
+class AllocationError(ReproError):
+    """A resource allocation request cannot be satisfied or is malformed."""
+
+
+class SchedulingError(ReproError):
+    """Scheduler invariant violation (a bug, not a full cluster)."""
+
+
+class ProfileError(ReproError):
+    """Missing or malformed program profile data."""
+
+
+class SimulationError(ReproError):
+    """Discrete-event simulator invariant violation."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload, sequence, or trace specification."""
+
+
+class UnknownProgramError(ProfileError):
+    """A job references a program that is not in the catalog/database."""
+
+    def __init__(self, name: str):
+        super().__init__(f"unknown program: {name!r}")
+        self.name = name

@@ -1,0 +1,28 @@
+"""Experiment harnesses: one module per reproduced paper figure.
+
+Every module exposes ``run_*`` functions returning plain dataclasses (the
+same rows/series the paper plots) plus a ``format_*`` helper that renders
+an ASCII table.  The benchmark suite under ``benchmarks/`` and the CLI
+both call these.
+
+====================  ==========================================
+module                paper content
+====================  ==========================================
+fig01_motivating      MG+HC+TS example: CE 3 nodes vs SNS 2 nodes
+fig02_scaling         16-process scaling behaviour (MG CG EP BFS)
+fig03_stream          STREAM bandwidth vs core count
+fig04_bandwidth       per-node bandwidth by placement
+fig05_missrate        LLC miss rate by placement
+fig06_cache_sensitivity  performance vs LLC ways (CAT sweep)
+fig07_comm_breakdown  computation/communication split
+fig12_profiles        least ways for 90 % perf + bandwidth, 12 programs
+fig13_scaleout        speedup at 2x/4x/8x + classification
+fig14_throughput      36 random sequences: CS & SNS vs CE
+fig15_relative        sorted SNS/CE and SNS/CS ratios
+fig16_runtime         normalized per-job runtimes
+fig17_load_balance    node x episode bandwidth matrix
+fig18_histogram       episode histogram + variance
+fig19_scaling_ratio   controlled BW/HC mixes, ratio 0..1
+fig20_large_cluster   Trinity-like trace on 4K..32K nodes
+====================  ==========================================
+"""

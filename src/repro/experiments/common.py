@@ -1,0 +1,74 @@
+"""Shared helpers for the experiment harnesses."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Type
+
+from repro.config import SchedulerConfig, SimConfig
+from repro.hardware.topology import ClusterSpec, testbed_cluster
+from repro.profiling.database import ProfileDatabase
+from repro.scheduling.backfill import CompactExclusiveBackfillScheduler
+from repro.scheduling.base import BaseScheduler
+from repro.scheduling.ce import CompactExclusiveScheduler
+from repro.scheduling.cs import CompactShareScheduler
+from repro.scheduling.sns import SpreadNShareScheduler
+from repro.sim.job import Job
+from repro.sim.runtime import Simulation, SimulationResult
+from repro.workloads.sequences import clone_jobs
+
+#: Policies compared throughout the evaluation ("CE-BF" is the extra
+#: EASY-backfilling baseline beyond the paper's trio).
+POLICIES: Dict[str, Type[BaseScheduler]] = {
+    "CE": CompactExclusiveScheduler,
+    "CE-BF": CompactExclusiveBackfillScheduler,
+    "CS": CompactShareScheduler,
+    "SNS": SpreadNShareScheduler,
+}
+
+
+def run_policy(
+    policy_name: str,
+    cluster: ClusterSpec,
+    jobs: Sequence[Job],
+    scheduler_config: SchedulerConfig = SchedulerConfig(),
+    sim_config: SimConfig = SimConfig(),
+    database: ProfileDatabase = None,
+) -> SimulationResult:
+    """Run one policy on (a private copy of) a job sequence."""
+    cls = POLICIES[policy_name]
+    if cls is SpreadNShareScheduler:
+        policy = cls(cluster, scheduler_config, database=database)
+    else:
+        policy = cls(cluster, scheduler_config)
+    return Simulation(cluster, policy, clone_jobs(jobs), sim_config).run()
+
+
+def run_all_policies(
+    cluster: ClusterSpec,
+    jobs: Sequence[Job],
+    policy_names: Sequence[str] = ("CE", "CS", "SNS"),
+    **kwargs,
+) -> Dict[str, SimulationResult]:
+    """Run the same sequence under each policy."""
+    return {
+        name: run_policy(name, cluster, jobs, **kwargs)
+        for name in policy_names
+    }
+
+
+def ascii_table(headers: List[str], rows: List[List[str]]) -> str:
+    """Minimal fixed-width table renderer for harness output."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    def fmt(cells):
+        return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in rows)
+    return "\n".join(lines)
+
+
+def default_cluster() -> ClusterSpec:
+    """The paper's 8-node testbed."""
+    return testbed_cluster()

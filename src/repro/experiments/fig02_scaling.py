@@ -1,0 +1,60 @@
+"""Fig 2 — scaling behaviour of 16-process runs (paper Section 2).
+
+MG, CG, EP, and BFS run exclusively with 16 processes spread over 1, 2,
+4, and 8 nodes (1N16C, 2N8C, 4N4C, 8N2C).  MG benefits the most (memory
+bandwidth), CG peaks at two nodes, EP is flat, and BFS is the only
+program that degrades (inter-node communication).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.apps.catalog import get_program
+from repro.experiments.common import ascii_table
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.execution import predict_exclusive_time, reference_time
+
+#: The four characterization programs of Section 2.
+SECTION2_PROGRAMS: Tuple[str, ...] = ("MG", "CG", "EP", "BFS")
+
+#: Node footprints of the paper's 16-process sweep.
+FOOTPRINTS: Tuple[int, ...] = (1, 2, 4, 8)
+
+
+@dataclass(frozen=True)
+class Fig02Result:
+    """Speedup of each program at each footprint, relative to 1N16C."""
+
+    procs: int
+    speedup: Dict[str, Dict[int, float]]  # program -> n_nodes -> speedup
+
+
+def run_fig02(
+    programs: Sequence[str] = SECTION2_PROGRAMS,
+    footprints: Sequence[int] = FOOTPRINTS,
+    procs: int = 16,
+    spec: NodeSpec = NodeSpec(),
+) -> Fig02Result:
+    speedup: Dict[str, Dict[int, float]] = {}
+    for name in programs:
+        program = get_program(name)
+        t_ref = reference_time(program, procs, spec)
+        speedup[name] = {
+            n: t_ref / predict_exclusive_time(program, procs, n, spec)
+            for n in footprints
+        }
+    return Fig02Result(procs=procs, speedup=speedup)
+
+
+def format_fig02(result: Fig02Result) -> str:
+    footprints = sorted(next(iter(result.speedup.values())))
+    headers = ["program"] + [
+        f"{n}N{result.procs // n}C" for n in footprints
+    ]
+    rows = [
+        [name] + [f"{result.speedup[name][n]:.3f}" for n in footprints]
+        for name in result.speedup
+    ]
+    return ascii_table(headers, rows)

@@ -1,0 +1,43 @@
+"""Fig 3 — STREAM bandwidth with growing core count (paper Section 2).
+
+One node's aggregate and per-core streaming bandwidth as cores are
+added: ~18.8 GB/s for one core, roughly doubling at two, levelling off
+near 8 cores, and reaching ~118 GB/s at 28 cores where per-core
+bandwidth has dipped to ~22 % of the single-core peak.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.experiments.common import ascii_table
+from repro.hardware.membw import BandwidthModel
+
+
+@dataclass(frozen=True)
+class Fig03Result:
+    aggregate: Dict[int, float]  # cores -> GB/s
+    per_core: Dict[int, float]   # cores -> GB/s
+    saturation_cores: int        # knee (90 % of peak)
+
+
+def run_fig03(
+    max_cores: int = 28,
+    model: BandwidthModel = BandwidthModel(),
+) -> Fig03Result:
+    cores: Sequence[int] = range(1, max_cores + 1)
+    return Fig03Result(
+        aggregate={n: model.aggregate(n) for n in cores},
+        per_core={n: model.per_core(n) for n in cores},
+        saturation_cores=model.saturation_cores(0.9),
+    )
+
+
+def format_fig03(result: Fig03Result) -> str:
+    rows = [
+        [n, f"{result.aggregate[n]:.2f}", f"{result.per_core[n]:.2f}"]
+        for n in sorted(result.aggregate)
+    ]
+    table = ascii_table(["cores", "aggregate GB/s", "per-core GB/s"], rows)
+    return f"{table}\n90% saturation at {result.saturation_cores} cores"

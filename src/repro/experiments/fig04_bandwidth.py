@@ -1,0 +1,62 @@
+"""Fig 4 — per-node memory-bandwidth consumption by placement
+(paper Section 2).
+
+The same exclusive 16-process runs as Fig 2, reporting the DRAM
+bandwidth drawn on (the most loaded) node: MG consumes ~112 GB/s solo —
+essentially the node peak — and ~67 GB/s per node when split over two;
+CG sits in the tens; EP and BFS are bandwidth-light on one node, but
+BFS's bandwidth *rises* when spread (communication-related accesses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.apps.catalog import get_program
+from repro.experiments.common import ascii_table
+from repro.experiments.fig02_scaling import FOOTPRINTS, SECTION2_PROGRAMS
+from repro.hardware.node_spec import NodeSpec
+
+
+@dataclass(frozen=True)
+class Fig04Result:
+    procs: int
+    bandwidth: Dict[str, Dict[int, float]]  # program -> n_nodes -> GB/s per node
+
+
+def node_bandwidth(program, procs: int, n_nodes: int, spec: NodeSpec) -> float:
+    """Achieved per-node DRAM bandwidth of an exclusive run."""
+    procs_on_node = -(-procs // n_nodes)
+    cap = spec.cache.ways_to_mb(float(spec.llc_ways)) / procs_on_node
+    demand = program.demand_gbps_per_proc(
+        cap, n_nodes, core_peak_bw=spec.bandwidth.core_peak
+    ) * procs_on_node
+    return min(demand, spec.bandwidth.aggregate(procs_on_node))
+
+
+def run_fig04(
+    programs: Sequence[str] = SECTION2_PROGRAMS,
+    footprints: Sequence[int] = FOOTPRINTS,
+    procs: int = 16,
+    spec: NodeSpec = NodeSpec(),
+) -> Fig04Result:
+    bandwidth: Dict[str, Dict[int, float]] = {}
+    for name in programs:
+        program = get_program(name)
+        bandwidth[name] = {
+            n: node_bandwidth(program, procs, n, spec) for n in footprints
+        }
+    return Fig04Result(procs=procs, bandwidth=bandwidth)
+
+
+def format_fig04(result: Fig04Result) -> str:
+    footprints = sorted(next(iter(result.bandwidth.values())))
+    headers = ["program"] + [
+        f"{n}N{result.procs // n}C" for n in footprints
+    ]
+    rows = [
+        [name] + [f"{result.bandwidth[name][n]:.2f}" for n in footprints]
+        for name in result.bandwidth
+    ]
+    return ascii_table(headers, rows)

@@ -1,0 +1,52 @@
+"""Fig 5 — impact of scaling on LLC miss rate (paper Section 2).
+
+Spreading gives each process more cache: MG's and CG's miss rates drop.
+EP barely misses at all.  BFS's miss rate *rises* with the footprint
+because inter-node communication adds code/data accesses that miss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.apps.catalog import get_program
+from repro.experiments.common import ascii_table
+from repro.experiments.fig02_scaling import FOOTPRINTS, SECTION2_PROGRAMS
+from repro.hardware.node_spec import NodeSpec
+
+
+@dataclass(frozen=True)
+class Fig05Result:
+    procs: int
+    miss_rate: Dict[str, Dict[int, float]]  # program -> n_nodes -> percent
+
+
+def run_fig05(
+    programs: Sequence[str] = SECTION2_PROGRAMS,
+    footprints: Sequence[int] = FOOTPRINTS,
+    procs: int = 16,
+    spec: NodeSpec = NodeSpec(),
+) -> Fig05Result:
+    miss: Dict[str, Dict[int, float]] = {}
+    for name in programs:
+        program = get_program(name)
+        rates = {}
+        for n in footprints:
+            procs_on_node = -(-procs // n)
+            cap = spec.cache.ways_to_mb(float(spec.llc_ways)) / procs_on_node
+            rates[n] = program.miss_rate_percent(cap, n)
+        miss[name] = rates
+    return Fig05Result(procs=procs, miss_rate=miss)
+
+
+def format_fig05(result: Fig05Result) -> str:
+    footprints = sorted(next(iter(result.miss_rate.values())))
+    headers = ["program"] + [
+        f"{n}N{result.procs // n}C" for n in footprints
+    ]
+    rows = [
+        [name] + [f"{result.miss_rate[name][n]:.1f}%" for n in footprints]
+        for name in result.miss_rate
+    ]
+    return ascii_table(headers, rows)

@@ -1,0 +1,58 @@
+"""Fig 6 — performance vs LLC way allocation (paper Section 2).
+
+Single-node 16-process runs under a CAT sweep from 1 to 20 ways,
+normalized to the full-allocation performance.  MG needs only ~3 ways
+for 90 % performance, CG ~10, BFS nearly all ways, EP is insensitive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.apps.catalog import get_program
+from repro.experiments.common import ascii_table
+from repro.experiments.fig02_scaling import SECTION2_PROGRAMS
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.execution import predict_exclusive_time
+
+
+@dataclass(frozen=True)
+class Fig06Result:
+    procs: int
+    normalized_perf: Dict[str, Dict[int, float]]  # program -> ways -> perf
+    ways90: Dict[str, int]                        # least ways for 90 %
+
+
+def run_fig06(
+    programs: Sequence[str] = SECTION2_PROGRAMS,
+    procs: int = 16,
+    spec: NodeSpec = NodeSpec(),
+) -> Fig06Result:
+    perf: Dict[str, Dict[int, float]] = {}
+    ways90: Dict[str, int] = {}
+    all_ways = range(1, spec.llc_ways + 1)
+    for name in programs:
+        program = get_program(name)
+        t_full = predict_exclusive_time(program, procs, 1, spec,
+                                        ways=spec.llc_ways)
+        curve = {
+            w: t_full / predict_exclusive_time(program, procs, 1, spec, ways=w)
+            for w in all_ways
+        }
+        perf[name] = curve
+        ways90[name] = min(w for w, p in curve.items() if p >= 0.9)
+    return Fig06Result(procs=procs, normalized_perf=perf, ways90=ways90)
+
+
+def format_fig06(result: Fig06Result) -> str:
+    sample_ways = [1, 2, 3, 4, 6, 8, 10, 12, 16, 20]
+    headers = ["program"] + [f"{w}w" for w in sample_ways] + ["ways90"]
+    rows = []
+    for name, curve in result.normalized_perf.items():
+        rows.append(
+            [name]
+            + [f"{curve[w]:.2f}" for w in sample_ways]
+            + [str(result.ways90[name])]
+        )
+    return ascii_table(headers, rows)

@@ -1,0 +1,65 @@
+"""Fig 7 — computation vs communication time breakdown (paper Section 2).
+
+mpiP-style split of each exclusive run into computation and
+communication time, normalized to the single-node total.  The NPB
+programs communicate for under 10 % of their runtime; CG's wait time
+*shrinks* when spread (less contention, smaller progress gaps); BFS's
+communication grows enough to dominate its scaling loss.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+from repro.apps.catalog import get_program
+from repro.experiments.common import ascii_table
+from repro.experiments.fig02_scaling import FOOTPRINTS, SECTION2_PROGRAMS
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.execution import (
+    predict_exclusive_time,
+    reference_time,
+    scale_factor_of,
+)
+
+
+@dataclass(frozen=True)
+class Fig07Result:
+    procs: int
+    # program -> n_nodes -> (compute, comm), both normalized to the
+    # 1-node total runtime
+    breakdown: Dict[str, Dict[int, Tuple[float, float]]]
+
+
+def run_fig07(
+    programs: Sequence[str] = SECTION2_PROGRAMS,
+    footprints: Sequence[int] = FOOTPRINTS,
+    procs: int = 16,
+    spec: NodeSpec = NodeSpec(),
+) -> Fig07Result:
+    out: Dict[str, Dict[int, Tuple[float, float]]] = {}
+    for name in programs:
+        program = get_program(name)
+        t_ref = reference_time(program, procs, spec)
+        per_footprint = {}
+        for n in footprints:
+            total = predict_exclusive_time(program, procs, n, spec)
+            k = scale_factor_of(n, procs, spec)
+            comm = t_ref * program.comm.comm_fraction(k, n)
+            per_footprint[n] = ((total - comm) / t_ref, comm / t_ref)
+        out[name] = per_footprint
+    return Fig07Result(procs=procs, breakdown=out)
+
+
+def format_fig07(result: Fig07Result) -> str:
+    footprints = sorted(next(iter(result.breakdown.values())))
+    headers = ["program"] + [
+        f"{n}N comp/comm" for n in footprints
+    ]
+    rows = []
+    for name, per in result.breakdown.items():
+        rows.append(
+            [name]
+            + [f"{per[n][0]:.2f}/{per[n][1]:.2f}" for n in footprints]
+        )
+    return ascii_table(headers, rows)

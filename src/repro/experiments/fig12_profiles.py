@@ -1,0 +1,55 @@
+"""Fig 12 — cache sensitivity of all 12 test programs (paper Section 6.1).
+
+For each program running 16 processes on one node, the least number of
+LLC ways (out of 20) needed to retain 90 % of full-allocation
+performance, and the average memory bandwidth measured at that
+allocation.  This goes through the *profiling pipeline* (simulated PMU,
+sparse way sampling, linear interpolation) — exactly what the SNS
+scheduler will consume — rather than reading the ground-truth model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.apps.catalog import PROGRAMS, get_program
+from repro.experiments.common import ascii_table
+from repro.hardware.node_spec import NodeSpec
+from repro.profiling.sampler import sample_llc_curves
+
+
+@dataclass(frozen=True)
+class Fig12Result:
+    procs: int
+    ways90: Dict[str, int]      # least ways for 90 % of full-way IPC
+    bandwidth: Dict[str, float]  # GB/s (whole job) at that allocation
+
+
+def run_fig12(
+    program_names: Sequence[str] = tuple(PROGRAMS),
+    procs: int = 16,
+    spec: NodeSpec = NodeSpec(),
+) -> Fig12Result:
+    ways90: Dict[str, int] = {}
+    bandwidth: Dict[str, float] = {}
+    for name in program_names:
+        program = get_program(name)
+        curves = sample_llc_curves(program, procs, 1, spec)
+        ipc = curves["ipc"]
+        target = 0.9 * ipc(float(spec.llc_ways))
+        w = max(2, int(math.ceil(ipc.min_x_reaching(target) - 1e-9)))
+        ways90[name] = w
+        bandwidth[name] = curves["bw"](float(w)) * procs
+    return Fig12Result(procs=procs, ways90=ways90, bandwidth=bandwidth)
+
+
+def format_fig12(result: Fig12Result) -> str:
+    rows = [
+        [name, str(result.ways90[name]), f"{result.bandwidth[name]:.2f}"]
+        for name in result.ways90
+    ]
+    return ascii_table(
+        ["program", "least ways for 90%", "bandwidth GB/s"], rows
+    )

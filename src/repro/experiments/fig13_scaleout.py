@@ -1,0 +1,69 @@
+"""Fig 13 — speedup of scaling out, and program classification
+(paper Section 6.1).
+
+Each multi-node-capable program runs 16 processes exclusively at scale
+factors 2, 4, and 8 versus its single-node CE run.  Five programs are
+*scaling* (MG, CG, LU, TS, BW — CG peaking at 2x, the others reaching
+their best at the largest footprint), BFS is *compact*, and EP, WC, NW,
+HC are *neutral*.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from repro.apps.catalog import FIG13_PROGRAMS, get_program
+from repro.experiments.common import ascii_table
+from repro.hardware.node_spec import NodeSpec
+from repro.profiling.classify import ScalingClass
+from repro.profiling.profiler import profile_program
+
+
+@dataclass(frozen=True)
+class Fig13Result:
+    procs: int
+    speedup: Dict[str, Dict[int, float]]    # program -> scale -> speedup
+    classification: Dict[str, ScalingClass]
+    ideal_scale: Dict[str, int]
+
+
+def run_fig13(
+    program_names: Sequence[str] = FIG13_PROGRAMS,
+    procs: int = 16,
+    spec: NodeSpec = NodeSpec(),
+    max_nodes: int = 8,
+) -> Fig13Result:
+    speedup: Dict[str, Dict[int, float]] = {}
+    classification: Dict[str, ScalingClass] = {}
+    ideal: Dict[str, int] = {}
+    for name in program_names:
+        program = get_program(name)
+        # Disable the early-saturation cut-off so every scale has a bar,
+        # as in the paper's figure.
+        profile = profile_program(
+            program, procs, spec, max_nodes, max_degradation=float("inf")
+        )
+        t1 = profile.get(1).time_s
+        speedup[name] = {
+            k: t1 / p.time_s for k, p in profile.scales.items() if k != 1
+        }
+        classification[name] = profile.scaling_class
+        ideal[name] = profile.ideal_scale
+    return Fig13Result(
+        procs=procs, speedup=speedup, classification=classification,
+        ideal_scale=ideal,
+    )
+
+
+def format_fig13(result: Fig13Result) -> str:
+    scales = sorted({k for s in result.speedup.values() for k in s})
+    headers = ["program"] + [f"{k}x" for k in scales] + ["class", "ideal"]
+    rows = []
+    for name, sp in result.speedup.items():
+        rows.append(
+            [name]
+            + [f"{sp[k]:.3f}" if k in sp else "-" for k in scales]
+            + [result.classification[name].value, str(result.ideal_scale[name])]
+        )
+    return ascii_table(headers, rows)

@@ -1,0 +1,63 @@
+"""Fig 15 — SNS throughput relative to CE and CS, sorted
+(paper Section 6.2).
+
+Post-processes the Fig 14 outcomes: the two series are each sorted in
+ascending order (so the same x index does not denote the same
+sequence, as in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments.common import ascii_table
+from repro.experiments.fig14_throughput import Fig14Result, run_fig14
+from repro.metrics.means import arithmetic_mean
+
+
+@dataclass(frozen=True)
+class Fig15Result:
+    sns_over_ce: List[float]  # ascending
+    sns_over_cs: List[float]  # ascending
+
+    @property
+    def ce_mean_gain(self) -> float:
+        return arithmetic_mean(self.sns_over_ce) - 1.0
+
+    @property
+    def ce_max_gain(self) -> float:
+        return max(self.sns_over_ce) - 1.0
+
+    @property
+    def cs_win_fraction(self) -> float:
+        return sum(1 for r in self.sns_over_cs if r > 1.0) / len(
+            self.sns_over_cs
+        )
+
+
+def from_fig14(result: Fig14Result) -> Fig15Result:
+    return Fig15Result(
+        sns_over_ce=sorted(o.relative("SNS", "CE") for o in result.outcomes),
+        sns_over_cs=sorted(o.relative("SNS", "CS") for o in result.outcomes),
+    )
+
+
+def run_fig15(**kwargs) -> Fig15Result:
+    return from_fig14(run_fig14(**kwargs))
+
+
+def format_fig15(result: Fig15Result) -> str:
+    rows = [
+        [i, f"{ce:.3f}", f"{cs:.3f}"]
+        for i, (ce, cs) in enumerate(
+            zip(result.sns_over_ce, result.sns_over_cs)
+        )
+    ]
+    table = ascii_table(["rank", "SNS/CE", "SNS/CS"], rows)
+    return (
+        f"{table}\n"
+        f"SNS vs CE: mean {result.ce_mean_gain:+.1%}, "
+        f"max {result.ce_max_gain:+.1%}; "
+        f"beats CS in {result.cs_win_fraction:.0%} of sequences"
+    )

@@ -1,0 +1,91 @@
+"""Fig 16 — individual job run-time distribution (paper Section 6.2).
+
+Per-sequence geometric-mean / max / min job runtime of CS and SNS,
+normalized to CE, sorted by the SNS mean.  Also reports the paper's
+alpha-violation tail: the jobs whose SNS runtime exceeds 1/alpha times
+their CE runtime (136 of 720 executions in the paper, exceeding the
+1.1x bound by 28.3 % on average).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.experiments.common import ascii_table
+from repro.experiments.fig14_throughput import Fig14Result, run_fig14
+from repro.metrics.means import arithmetic_mean
+
+
+@dataclass(frozen=True)
+class AlphaViolations:
+    """Jobs whose co-scheduled runtime broke the slowdown threshold."""
+
+    total_jobs: int
+    violations: int
+    mean_excess: float  # mean fractional excess over the 1/alpha bound
+    max_excess: float
+
+
+@dataclass(frozen=True)
+class Fig16Result:
+    # Sorted by SNS geomean: list of (CS stats, SNS stats) dicts with
+    # keys geomean/max/min.
+    per_sequence: List[Dict[str, Dict[str, float]]]
+    alpha_violations: AlphaViolations
+
+
+def violations_from(result: Fig14Result, alpha: float = 0.9) -> AlphaViolations:
+    bound = 1.0 / alpha
+    total = 0
+    excesses: List[float] = []
+    for outcome in result.outcomes:
+        for ratio in outcome.job_runtime_norm["SNS"].values():
+            total += 1
+            if ratio > bound + 1e-9:
+                excesses.append(ratio / bound - 1.0)
+    return AlphaViolations(
+        total_jobs=total,
+        violations=len(excesses),
+        mean_excess=arithmetic_mean(excesses) if excesses else 0.0,
+        max_excess=max(excesses) if excesses else 0.0,
+    )
+
+
+def from_fig14(result: Fig14Result, alpha: float = 0.9) -> Fig16Result:
+    per_sequence = sorted(
+        (
+            {"CS": o.runtime_norm["CS"], "SNS": o.runtime_norm["SNS"]}
+            for o in result.outcomes
+        ),
+        key=lambda entry: entry["SNS"]["geomean"],
+    )
+    return Fig16Result(
+        per_sequence=per_sequence,
+        alpha_violations=violations_from(result, alpha),
+    )
+
+
+def run_fig16(alpha: float = 0.9, **kwargs) -> Fig16Result:
+    return from_fig14(run_fig14(**kwargs), alpha=alpha)
+
+
+def format_fig16(result: Fig16Result) -> str:
+    rows = []
+    for i, entry in enumerate(result.per_sequence):
+        cs, sns = entry["CS"], entry["SNS"]
+        rows.append([
+            i,
+            f"{cs['geomean']:.3f}", f"{cs['max']:.2f}", f"{cs['min']:.2f}",
+            f"{sns['geomean']:.3f}", f"{sns['max']:.2f}", f"{sns['min']:.2f}",
+        ])
+    table = ascii_table(
+        ["seq", "CS avg", "CS max", "CS min", "SNS avg", "SNS max", "SNS min"],
+        rows,
+    )
+    v = result.alpha_violations
+    return (
+        f"{table}\n"
+        f"alpha violations: {v.violations}/{v.total_jobs} jobs, "
+        f"mean excess {v.mean_excess:.1%}, max {v.max_excess:.1%}"
+    )

@@ -1,0 +1,48 @@
+"""Fig 18 — episode counts by bandwidth interval (paper Section 6.2).
+
+The histogram view of the Fig 17 matrices: SNS's smoothing removes both
+near-idle and near-peak episodes relative to CE.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.experiments.common import ascii_table
+from repro.experiments.fig17_load_balance import Fig17Result, run_fig17
+
+
+@dataclass(frozen=True)
+class Fig18Result:
+    histograms: Dict[str, Tuple[np.ndarray, np.ndarray]]
+    variance: Dict[str, float]
+
+
+def from_fig17(result: Fig17Result) -> Fig18Result:
+    return Fig18Result(
+        histograms=result.histograms, variance=result.variance
+    )
+
+
+def run_fig18(**kwargs) -> Fig18Result:
+    return from_fig17(run_fig17(**kwargs))
+
+
+def format_fig18(result: Fig18Result) -> str:
+    policies = list(result.histograms)
+    edges = result.histograms[policies[0]][0]
+    headers = ["GB/s bin"] + policies
+    rows = []
+    for i in range(len(edges) - 1):
+        row = [f"{edges[i]:.0f}-{edges[i+1]:.0f}"]
+        for policy in policies:
+            row.append(str(int(result.histograms[policy][1][i])))
+        rows.append(row)
+    table = ascii_table(headers, rows)
+    variances = ", ".join(
+        f"{p}: {v:.2f}" for p, v in result.variance.items()
+    )
+    return f"{table}\nbandwidth variance (sigma/peak) — {variances}"

@@ -1,0 +1,133 @@
+"""Fragmentation analysis: idle cores while jobs queue (Section 6.3).
+
+The paper attributes SNS's wait-time degradation at very high scaling
+ratios to *node fragmentation*: early spreading decisions leave nodes
+partially utilized, and later jobs cannot fit despite plenty of idle
+cores in aggregate — "idle bubbles in the schedule".  This experiment
+makes the bubbles measurable: for the controlled BW/HC mixes it reports
+the fraction of core capacity left idle **while at least one job was
+waiting in the queue** (idle cores with an empty queue are not waste).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import SimConfig
+from repro.experiments.common import ascii_table, default_cluster, run_all_policies
+from repro.hardware.topology import ClusterSpec
+from repro.sim.runtime import SimulationResult
+from repro.workloads.mixes import controlled_mix
+
+
+def _queued_intervals(result: SimulationResult) -> List[Tuple[float, float]]:
+    """Merged time intervals during which the pending queue was
+    non-empty (some job submitted but not yet started)."""
+    raw = sorted(
+        (j.submit_time, j.start_time)
+        for j in result.finished_jobs
+        if j.start_time > j.submit_time + 1e-12
+    )
+    merged: List[Tuple[float, float]] = []
+    for lo, hi in raw:
+        if merged and lo <= merged[-1][1] + 1e-12:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def idle_while_queued_fraction(
+    result: SimulationResult, cluster: ClusterSpec,
+    episode_seconds: float = 10.0,
+) -> float:
+    """Fraction of core capacity idle during queued periods (0 when the
+    queue never waited)."""
+    intervals = _queued_intervals(result)
+    if not intervals:
+        return 0.0
+    assert result.telemetry is not None
+    cores = result.telemetry.episode_matrix(
+        episode_seconds, result.makespan, metric="cores"
+    )
+    used_per_episode = cores.sum(axis=0)  # total busy cores
+    total = cluster.total_cores
+    idle_core_seconds = 0.0
+    queued_seconds = 0.0
+    for lo, hi in intervals:
+        first = int(lo // episode_seconds)
+        last = int(np.ceil(hi / episode_seconds))
+        for ep in range(first, min(last, len(used_per_episode))):
+            span_lo = max(lo, ep * episode_seconds)
+            span_hi = min(hi, (ep + 1) * episode_seconds)
+            if span_hi <= span_lo:
+                continue
+            dt = span_hi - span_lo
+            queued_seconds += dt
+            idle_core_seconds += (total - used_per_episode[ep]) * dt
+    if queued_seconds <= 0:
+        return 0.0
+    return idle_core_seconds / (queued_seconds * total)
+
+
+@dataclass(frozen=True)
+class FragmentationPoint:
+    scaling_ratio: float
+    ce_idle_fraction: float
+    sns_idle_fraction: float
+
+
+@dataclass(frozen=True)
+class FragmentationResult:
+    points: List[FragmentationPoint]
+
+
+def run_fragmentation(
+    ratios: Tuple[float, ...] = (0.3, 0.6, 0.9, 1.0),
+    n_jobs: int = 30,
+    cluster: Optional[ClusterSpec] = None,
+) -> FragmentationResult:
+    cluster = cluster or default_cluster()
+    points = []
+    for ratio in ratios:
+        jobs, achieved = controlled_mix(ratio, n_jobs=n_jobs,
+                                        spec=cluster.node)
+        runs = run_all_policies(
+            cluster, jobs, policy_names=("CE", "SNS"),
+            sim_config=SimConfig(telemetry=True),
+        )
+        points.append(
+            FragmentationPoint(
+                scaling_ratio=achieved,
+                ce_idle_fraction=idle_while_queued_fraction(
+                    runs["CE"], cluster
+                ),
+                sns_idle_fraction=idle_while_queued_fraction(
+                    runs["SNS"], cluster
+                ),
+            )
+        )
+    return FragmentationResult(points=points)
+
+
+def format_fragmentation(result: FragmentationResult) -> str:
+    rows = [
+        [
+            f"{p.scaling_ratio:.2f}",
+            f"{p.ce_idle_fraction:.1%}",
+            f"{p.sns_idle_fraction:.1%}",
+        ]
+        for p in result.points
+    ]
+    table = ascii_table(
+        ["scaling ratio", "CE idle-while-queued", "SNS idle-while-queued"],
+        rows,
+    )
+    return (
+        f"{table}\n"
+        "idle-while-queued = core capacity wasted while jobs wait "
+        "(the paper's fragmentation 'bubbles')"
+    )

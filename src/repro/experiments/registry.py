@@ -1,0 +1,142 @@
+"""Registry mapping experiment ids to (runner, formatter) pairs, used by
+the CLI (``python -m repro run-experiment <id>``)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, NamedTuple
+
+from repro.errors import ReproError
+from repro.experiments import (
+    ablations,
+    baselines,
+    fragmentation,
+    online_profiling,
+    fig01_motivating,
+    fig02_scaling,
+    fig03_stream,
+    fig04_bandwidth,
+    fig05_missrate,
+    fig06_cache_sensitivity,
+    fig07_comm_breakdown,
+    fig12_profiles,
+    fig13_scaleout,
+    fig14_throughput,
+    fig15_relative,
+    fig16_runtime,
+    fig17_load_balance,
+    fig18_histogram,
+    fig19_scaling_ratio,
+    fig20_large_cluster,
+)
+
+
+class Experiment(NamedTuple):
+    description: str
+    run: Callable[..., object]
+    render: Callable[[object], str]
+    #: kwargs for a reduced run (`repro-sns run --quick`); empty when the
+    #: full experiment is already fast.
+    quick_kwargs: dict = {}
+
+
+EXPERIMENTS: Dict[str, Experiment] = {
+    "fig1": Experiment(
+        "motivating MG+HC+TS example (CE 3 nodes vs SNS 2 nodes)",
+        fig01_motivating.run_fig01, fig01_motivating.format_fig01,
+    ),
+    "fig2": Experiment(
+        "scaling behaviour of 16-process runs",
+        fig02_scaling.run_fig02, fig02_scaling.format_fig02,
+    ),
+    "fig3": Experiment(
+        "STREAM bandwidth vs core count",
+        fig03_stream.run_fig03, fig03_stream.format_fig03,
+    ),
+    "fig4": Experiment(
+        "per-node memory bandwidth by placement",
+        fig04_bandwidth.run_fig04, fig04_bandwidth.format_fig04,
+    ),
+    "fig5": Experiment(
+        "LLC miss rate by placement",
+        fig05_missrate.run_fig05, fig05_missrate.format_fig05,
+    ),
+    "fig6": Experiment(
+        "performance vs LLC way allocation",
+        fig06_cache_sensitivity.run_fig06,
+        fig06_cache_sensitivity.format_fig06,
+    ),
+    "fig7": Experiment(
+        "computation/communication breakdown",
+        fig07_comm_breakdown.run_fig07, fig07_comm_breakdown.format_fig07,
+    ),
+    "fig12": Experiment(
+        "cache sensitivity of the 12 test programs",
+        fig12_profiles.run_fig12, fig12_profiles.format_fig12,
+    ),
+    "fig13": Experiment(
+        "speedup of scaling out + classification",
+        fig13_scaleout.run_fig13, fig13_scaleout.format_fig13,
+    ),
+    "fig14": Experiment(
+        "throughput on 36 random sequences (CE/CS/SNS)",
+        fig14_throughput.run_fig14, fig14_throughput.format_fig14,
+        {"n_sequences": 12},
+    ),
+    "fig15": Experiment(
+        "sorted SNS/CE and SNS/CS throughput ratios",
+        fig15_relative.run_fig15, fig15_relative.format_fig15,
+        {"n_sequences": 12},
+    ),
+    "fig16": Experiment(
+        "normalized per-job runtimes + alpha violations",
+        fig16_runtime.run_fig16, fig16_runtime.format_fig16,
+        {"n_sequences": 12},
+    ),
+    "fig17": Experiment(
+        "per-node bandwidth heat matrix (CE vs SNS)",
+        fig17_load_balance.run_fig17, fig17_load_balance.format_fig17,
+    ),
+    "fig18": Experiment(
+        "bandwidth histogram + variance",
+        fig18_histogram.run_fig18, fig18_histogram.format_fig18,
+    ),
+    "fig19": Experiment(
+        "impact of the workload scaling ratio",
+        fig19_scaling_ratio.run_fig19, fig19_scaling_ratio.format_fig19,
+    ),
+    "fig20": Experiment(
+        "Trinity-like trace on 4K..32K-node clusters",
+        fig20_large_cluster.run_fig20, fig20_large_cluster.format_fig20,
+        {
+            "cluster_sizes": (4096, 8192),
+            "scaling_ratios": (0.9,),
+            "trace_config": fig20_large_cluster.smoke_trace_config(),
+        },
+    ),
+    "online": Experiment(
+        "online-profiling convergence (piggybacked trial ladder)",
+        online_profiling.run_convergence, online_profiling.format_convergence,
+    ),
+    "ablations": Experiment(
+        "ablate SNS design choices (beta, tolerance, residual share, MBA)",
+        ablations.run_ablation, ablations.format_ablation,
+    ),
+    "baselines": Experiment(
+        "four-way comparison incl. EASY-backfilled CE, with wide jobs",
+        baselines.run_baselines, baselines.format_baselines,
+    ),
+    "fragmentation": Experiment(
+        "idle-while-queued core waste: the Fig 19 wait-time knee",
+        fragmentation.run_fragmentation, fragmentation.format_fragmentation,
+    ),
+}
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise ReproError(
+            f"unknown experiment {exp_id!r}; known: {known}"
+        ) from None

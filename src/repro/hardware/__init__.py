@@ -1,0 +1,21 @@
+"""Hardware models: memory bandwidth, LLC/CAT, network, node and cluster specs.
+
+These models are the simulated substitute for the paper's physical testbed
+(dual Xeon E5-2680 v4 nodes on EDR InfiniBand).  Each model is calibrated
+against the numbers the paper reports (see DESIGN.md Section 5).
+"""
+
+from repro.hardware.membw import BandwidthModel
+from repro.hardware.cache import CacheModel, WayLedger
+from repro.hardware.network import NetworkModel
+from repro.hardware.node_spec import NodeSpec
+from repro.hardware.topology import ClusterSpec
+
+__all__ = [
+    "BandwidthModel",
+    "CacheModel",
+    "WayLedger",
+    "NetworkModel",
+    "NodeSpec",
+    "ClusterSpec",
+]

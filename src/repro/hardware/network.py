@@ -1,0 +1,57 @@
+"""Interconnect model (EDR InfiniBand class, paper Sections 2 and 6.1).
+
+The paper's testbed network sustains about 6.8 GB/s per node — far below
+the >100 GB/s intra-node memory bandwidth, but communication happens with
+much lower *intensity* than memory access (Fig. 7), which is why spreading
+can still win.  The network model provides the per-node-pair effective
+bandwidth and a simple transfer-time helper used by the application
+communication model (:mod:`repro.perfmodel.execution`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.errors import HardwareModelError
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Flat full-bisection interconnect.
+
+    Parameters
+    ----------
+    link_bw:
+        Per-node injection bandwidth in GB/s.
+    latency_us:
+        Base one-way message latency in microseconds.
+    """
+
+    link_bw: float = units.REF_NETWORK_BW
+    latency_us: float = 1.5
+
+    def __post_init__(self) -> None:
+        if self.link_bw <= 0:
+            raise HardwareModelError("link bandwidth must be positive")
+        if self.latency_us < 0:
+            raise HardwareModelError("latency must be non-negative")
+
+    def transfer_time(self, volume_gb: float, n_messages: int = 1) -> float:
+        """Seconds to move ``volume_gb`` of data off-node as ``n_messages``
+        messages (bandwidth term plus per-message latency)."""
+        if volume_gb < 0:
+            raise HardwareModelError("volume must be non-negative")
+        if n_messages < 0:
+            raise HardwareModelError("message count must be non-negative")
+        return volume_gb / self.link_bw + n_messages * self.latency_us * 1e-6
+
+    def relative_to_memory(self, node_peak_bw: float) -> float:
+        """Ratio of network to node memory bandwidth (dimensionless).
+
+        Used by the communication model to scale inter-node penalties: on
+        the paper's testbed this is 6.8 / 118.26 ~= 0.057.
+        """
+        if node_peak_bw <= 0:
+            raise HardwareModelError("node peak bandwidth must be positive")
+        return self.link_bw / node_peak_bw

@@ -1,0 +1,46 @@
+"""Cluster-level static description.
+
+The paper evaluates on an 8-node testbed and, via trace-driven simulation,
+on clusters of 4,096 / 8,192 / 16,384 / 32,768 nodes with the same node
+configuration (Section 6.4).  :class:`ClusterSpec` captures that: a node
+count plus one homogeneous :class:`NodeSpec`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hardware.node_spec import NodeSpec
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """Homogeneous cluster: ``num_nodes`` identical nodes."""
+
+    num_nodes: int = 8
+    node: NodeSpec = field(default_factory=NodeSpec)
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ConfigError("cluster must have at least one node")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores
+
+    def max_scale_factor(self, processes: int) -> int:
+        """Largest integer scale factor k such that k * ceil(P/T) nodes
+        still fit in the cluster."""
+        base = self.node.min_nodes_for(processes)
+        return max(1, self.num_nodes // base)
+
+
+def testbed_cluster() -> ClusterSpec:
+    """The paper's 8-node local test cluster."""
+    return ClusterSpec(num_nodes=8)
+
+
+def simulated_cluster(num_nodes: int) -> ClusterSpec:
+    """A large simulated cluster with testbed-identical nodes (Fig. 20)."""
+    return ClusterSpec(num_nodes=num_nodes)

@@ -1,0 +1,26 @@
+"""Evaluation metrics, following the paper's conventions (Section 6.1):
+arithmetic mean for times in seconds, geometric mean for speedups and
+normalized (dimensionless) times.
+"""
+
+from repro.metrics.means import arithmetic_mean, geometric_mean
+from repro.metrics.times import TimeBreakdown, breakdown, normalized_runtimes
+from repro.metrics.throughput import (
+    relative_throughput,
+    scaling_ratio,
+    throughput,
+)
+from repro.metrics.balance import bandwidth_histogram, episode_variance
+
+__all__ = [
+    "arithmetic_mean",
+    "geometric_mean",
+    "TimeBreakdown",
+    "breakdown",
+    "normalized_runtimes",
+    "relative_throughput",
+    "scaling_ratio",
+    "throughput",
+    "bandwidth_histogram",
+    "episode_variance",
+]

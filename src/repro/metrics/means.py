@@ -1,0 +1,25 @@
+"""Mean conventions (paper Section 6.1, citing Citron et al. and Mashey):
+arithmetic mean for raw times, geometric mean for ratios."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ReproError
+
+
+def arithmetic_mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; raises on empty input."""
+    if not values:
+        raise ReproError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean of positive ratios; raises on empty/non-positive."""
+    if not values:
+        raise ReproError("mean of empty sequence")
+    if any(v <= 0 for v in values):
+        raise ReproError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in values) / len(values))

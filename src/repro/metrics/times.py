@@ -1,0 +1,60 @@
+"""Wait / run / turnaround extraction from simulation results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ReproError
+from repro.metrics.means import arithmetic_mean, geometric_mean
+from repro.sim.runtime import SimulationResult
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Average submit-to-start (wait), start-to-finish (run), and
+    submit-to-finish (turnaround) times over a job sequence — the three
+    metrics of paper Fig 19."""
+
+    wait: float
+    run: float
+    turnaround: float
+
+
+def breakdown(result: SimulationResult) -> TimeBreakdown:
+    """Arithmetic-average time breakdown of all finished jobs."""
+    jobs = result.finished_jobs
+    if not jobs:
+        raise ReproError("no finished jobs")
+    return TimeBreakdown(
+        wait=arithmetic_mean([j.wait_time for j in jobs]),
+        run=arithmetic_mean([j.run_time for j in jobs]),
+        turnaround=arithmetic_mean([j.turnaround_time for j in jobs]),
+    )
+
+
+def normalized_runtimes(
+    result: SimulationResult, baseline: SimulationResult
+) -> Dict[int, float]:
+    """Per-job run time normalized to the same job's run time under the
+    baseline policy (CE in the paper)."""
+    base_times = {j.job_id: j.run_time for j in baseline.finished_jobs}
+    out: Dict[int, float] = {}
+    for job in result.finished_jobs:
+        if job.job_id not in base_times:
+            raise ReproError(f"job {job.job_id} missing from baseline run")
+        out[job.job_id] = job.run_time / base_times[job.job_id]
+    return out
+
+
+def runtime_stats(norm: Dict[int, float]) -> Dict[str, float]:
+    """Geometric-mean / max / min of normalized runtimes (paper Fig 16's
+    per-sequence solid and dashed lines)."""
+    values: List[float] = list(norm.values())
+    if not values:
+        raise ReproError("no normalized runtimes")
+    return {
+        "geomean": geometric_mean(values),
+        "max": max(values),
+        "min": min(values),
+    }

@@ -1,0 +1,29 @@
+"""Performance model: node-level contention + whole-job execution time.
+
+This package turns static program models (:mod:`repro.apps`) and node
+hardware models (:mod:`repro.hardware`) into the quantities the simulator
+and profiler observe: per-job execution speed, per-node DRAM bandwidth,
+IPC, and communication share.
+"""
+
+from repro.perfmodel.contention import Slice, arbitrate_node, node_bandwidth_usage
+from repro.perfmodel.execution import (
+    NodeConditions,
+    job_time,
+    job_speed,
+    predict_exclusive_time,
+    reference_time,
+    scale_factor_of,
+)
+
+__all__ = [
+    "Slice",
+    "arbitrate_node",
+    "node_bandwidth_usage",
+    "NodeConditions",
+    "job_time",
+    "job_speed",
+    "predict_exclusive_time",
+    "reference_time",
+    "scale_factor_of",
+]

@@ -1,0 +1,30 @@
+"""Kunafa-style profiling: simulated PMUs, LLC-manipulation sampling,
+scaling trials, classification, and the JSON profile database.
+
+The paper's profiler needs no application modification: it reads hardware
+performance counters (Instructions Retired, Unhalted Core Cycles, Home
+Agent REQUESTS) while periodically changing the CAT allocation, samples
+the 2/4/8/20-way points, and linearly interpolates the rest (Section 5.1).
+This package reproduces that pipeline against the simulated PMU.
+"""
+
+from repro.profiling.pmu import PMUSample, read_pmu
+from repro.profiling.sampler import SAMPLED_WAYS, sample_llc_curves
+from repro.profiling.profiler import ScaleProfile, ProgramProfile, profile_program
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.online import OnlineProfileStore
+from repro.profiling.classify import ScalingClass, classify
+
+__all__ = [
+    "PMUSample",
+    "read_pmu",
+    "SAMPLED_WAYS",
+    "sample_llc_curves",
+    "ScaleProfile",
+    "ProgramProfile",
+    "profile_program",
+    "ProfileDatabase",
+    "OnlineProfileStore",
+    "ScalingClass",
+    "classify",
+]

@@ -1,0 +1,66 @@
+"""Program classification from scaling trials (paper Section 4.2).
+
+After profiling a program at scale factors 1x, 2x, 4x, 8x, the SNS
+database classifies it:
+
+* **scaling** — performance benefits from spreading (some scale beats 1x
+  by more than the neutrality threshold);
+* **compact** — performance suffers from spreading (every scale beyond
+  1x is worse, some by more than the threshold);
+* **neutral** — execution time varies within 5 % across the entire range
+  of eligible scale factors.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional
+
+from repro.errors import ProfileError
+
+#: The paper's neutrality band ("within 5 %").
+NEUTRAL_THRESHOLD = 0.05
+
+
+class ScalingClass(enum.Enum):
+    SCALING = "scaling"
+    COMPACT = "compact"
+    NEUTRAL = "neutral"
+
+
+def classify(
+    times_by_scale: Dict[int, float],
+    threshold: float = NEUTRAL_THRESHOLD,
+) -> ScalingClass:
+    """Classify from exclusive-run times keyed by scale factor.
+
+    ``times_by_scale`` must include scale 1.  Single-node programs (only
+    scale 1 profiled) are neutral by definition: they cannot scale, and
+    they are scheduled at their only valid scale.
+    """
+    if 1 not in times_by_scale:
+        raise ProfileError("classification needs the 1x baseline")
+    if any(t <= 0 for t in times_by_scale.values()):
+        raise ProfileError("non-positive profiled time")
+    t1 = times_by_scale[1]
+    speedups = {k: t1 / t for k, t in times_by_scale.items() if k != 1}
+    if not speedups:
+        return ScalingClass.NEUTRAL
+    if max(speedups.values()) > 1.0 + threshold:
+        return ScalingClass.SCALING
+    if all(abs(s - 1.0) <= threshold for s in speedups.values()):
+        return ScalingClass.NEUTRAL
+    return ScalingClass.COMPACT
+
+
+def ideal_scale(times_by_scale: Dict[int, float]) -> int:
+    """The empirically fastest scale factor (ties go to the smaller
+    footprint, minimizing node usage)."""
+    if not times_by_scale:
+        raise ProfileError("no profiled scales")
+    best: Optional[int] = None
+    for k in sorted(times_by_scale):
+        if best is None or times_by_scale[k] < times_by_scale[best] - 1e-12:
+            best = k
+    assert best is not None
+    return best

@@ -1,0 +1,146 @@
+"""SNS profile database (paper Section 5.1).
+
+Uberun stores profiling data in a JSON file and caches it as key-value
+pairs in memory at runtime.  The database here does the same: profiles
+are keyed by ``(program name, process count)`` — the same program
+submitted at a different width gets its own trial ladder — with JSON
+persistence for reuse across "runs".
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Optional, Tuple, Union
+
+from repro.apps.curves import PiecewiseLinearCurve
+from repro.apps.program import ProgramSpec
+from repro.errors import ProfileError
+from repro.hardware.node_spec import NodeSpec
+from repro.profiling.profiler import ProgramProfile, ScaleProfile, profile_program
+
+
+class ProfileDatabase:
+    """In-memory profile store with JSON persistence."""
+
+    def __init__(self) -> None:
+        self._profiles: Dict[Tuple[str, int], ProgramProfile] = {}
+
+    # -- access ------------------------------------------------------------
+
+    def put(self, procs: int, profile: ProgramProfile) -> None:
+        self._profiles[(profile.name, procs)] = profile
+
+    def get(self, name: str, procs: int) -> ProgramProfile:
+        try:
+            return self._profiles[(name, procs)]
+        except KeyError:
+            raise ProfileError(
+                f"no profile for {name!r} at {procs} processes"
+            ) from None
+
+    def has(self, name: str, procs: int) -> bool:
+        return (name, procs) in self._profiles
+
+    def keys(self) -> Iterable[Tuple[str, int]]:
+        return self._profiles.keys()
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    # -- construction -------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        programs: Iterable[ProgramSpec],
+        proc_counts: Iterable[int],
+        spec: NodeSpec,
+        max_cluster_nodes: int,
+        candidate_scales: Tuple[int, ...] = (1, 2, 4, 8),
+    ) -> "ProfileDatabase":
+        """Profile every (program, procs) combination — the steady state
+        a production SNS deployment converges to after piggybacked trial
+        runs."""
+        db = cls()
+        for program in programs:
+            for procs in proc_counts:
+                profile = profile_program(
+                    program, procs, spec, max_cluster_nodes,
+                    candidate_scales=candidate_scales,
+                )
+                db.put(procs, profile)
+        return db
+
+    # -- persistence ----------------------------------------------------------
+
+    def save(self, path: Union[str, Path]) -> None:
+        """Serialize to the JSON layout Uberun uses."""
+        doc = {}
+        for (name, procs), profile in sorted(self._profiles.items()):
+            entry = {"procs": procs, "scales": {}}
+            for k, sp in sorted(profile.scales.items()):
+                ipc_x, ipc_y = sp.ipc_llc.as_lists()
+                bw_x, bw_y = sp.bw_llc.as_lists()
+                entry["scales"][str(k)] = {
+                    "n_nodes": sp.n_nodes,
+                    "procs": sp.procs,
+                    "time_s": sp.time_s,
+                    "ipc_llc": {"ways": ipc_x, "ipc": ipc_y},
+                    "bw_llc": {"ways": bw_x, "gbps_per_proc": bw_y},
+                }
+            doc[f"{name}@{procs}"] = entry
+        Path(path).write_text(json.dumps(doc, indent=2, sort_keys=True))
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ProfileDatabase":
+        try:
+            doc = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ProfileError(f"cannot load profile database: {exc}") from exc
+        db = cls()
+        for key, entry in doc.items():
+            name, _, procs_str = key.rpartition("@")
+            if not name or not procs_str.isdigit():
+                raise ProfileError(f"malformed profile key {key!r}")
+            procs = int(procs_str)
+            if procs != entry.get("procs"):
+                raise ProfileError(f"inconsistent procs in {key!r}")
+            profile = ProgramProfile(name=name, ref_procs=procs)
+            for k_str, sp in entry["scales"].items():
+                profile.add(
+                    ScaleProfile(
+                        scale=int(k_str),
+                        n_nodes=int(sp["n_nodes"]),
+                        procs=int(sp["procs"]),
+                        time_s=float(sp["time_s"]),
+                        ipc_llc=PiecewiseLinearCurve.from_samples(
+                            sp["ipc_llc"]["ways"], sp["ipc_llc"]["ipc"]
+                        ),
+                        bw_llc=PiecewiseLinearCurve.from_samples(
+                            sp["bw_llc"]["ways"], sp["bw_llc"]["gbps_per_proc"]
+                        ),
+                    )
+                )
+            db.put(procs, profile)
+        return db
+
+    # -- convenience ------------------------------------------------------------
+
+    def get_or_profile(
+        self,
+        program: ProgramSpec,
+        procs: int,
+        spec: NodeSpec,
+        max_cluster_nodes: int,
+        candidate_scales: Optional[Tuple[int, ...]] = None,
+    ) -> ProgramProfile:
+        """Return the stored profile, running the trial ladder on a miss
+        (the paper's piggybacked profiling of new applications)."""
+        if not self.has(program.name, procs):
+            profile = profile_program(
+                program, procs, spec, max_cluster_nodes,
+                candidate_scales=candidate_scales or (1, 2, 4, 8),
+            )
+            self.put(procs, profile)
+        return self.get(program.name, procs)

@@ -1,0 +1,110 @@
+"""Re-profiling triggers for changed programs (paper Section 5.2).
+
+On production platforms programs get modified between submissions; a
+full trial ladder between adjacent code changes is impractical, so an
+SNS-enabled scheduler should "perform sustained, light-weight monitoring
+on programs' key performance metrics, such as the distribution of IPC,
+cache miss rate, and memory bandwidth readings, to trigger re-profiling
+when deemed necessary".
+
+:class:`DriftDetector` implements that: it keeps exponentially-weighted
+reference statistics of a program's observed IPC and bandwidth, and
+flags the program for re-profiling when readings deviate from the
+reference by more than a relative threshold for several consecutive
+observations (a single noisy reading must not trash a good profile).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ProfileError
+
+
+@dataclass
+class _Reference:
+    ipc: float
+    bandwidth: float
+    consecutive_deviations: int = 0
+    flagged: bool = False
+    observations: int = 1
+
+
+@dataclass
+class DriftDetector:
+    """Per-program drift detection over (IPC, bandwidth) observations.
+
+    Parameters
+    ----------
+    threshold:
+        Relative deviation of either metric that counts as anomalous.
+    patience:
+        Consecutive anomalous observations required before flagging
+        (transient interference and phase noise must not trigger).
+    smoothing:
+        EWMA weight of new *non-anomalous* observations when updating
+        the reference (slow adaptation to gradual, benign change).
+    """
+
+    threshold: float = 0.25
+    patience: int = 3
+    smoothing: float = 0.1
+    _refs: Dict[Tuple[str, int], _Reference] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ProfileError("threshold must be positive")
+        if self.patience < 1:
+            raise ProfileError("patience must be >= 1")
+        if not 0.0 < self.smoothing <= 1.0:
+            raise ProfileError("smoothing must be in (0, 1]")
+
+    @staticmethod
+    def _deviates(observed: float, reference: float, threshold: float) -> bool:
+        if reference <= 0:
+            return observed > 0
+        return abs(observed - reference) / reference > threshold
+
+    def observe(self, name: str, procs: int, ipc: float,
+                bandwidth: float) -> bool:
+        """Feed one observation; returns ``True`` when the program has
+        just been flagged for re-profiling."""
+        if ipc < 0 or bandwidth < 0:
+            raise ProfileError("observations must be non-negative")
+        key = (name, procs)
+        ref = self._refs.get(key)
+        if ref is None:
+            self._refs[key] = _Reference(ipc=ipc, bandwidth=bandwidth)
+            return False
+        ref.observations += 1
+        if ref.flagged:
+            return False
+        anomalous = self._deviates(ipc, ref.ipc, self.threshold) or \
+            self._deviates(bandwidth, ref.bandwidth, self.threshold)
+        if anomalous:
+            ref.consecutive_deviations += 1
+            if ref.consecutive_deviations >= self.patience:
+                ref.flagged = True
+                return True
+        else:
+            ref.consecutive_deviations = 0
+            w = self.smoothing
+            ref.ipc = (1 - w) * ref.ipc + w * ipc
+            ref.bandwidth = (1 - w) * ref.bandwidth + w * bandwidth
+        return False
+
+    def needs_reprofile(self, name: str, procs: int) -> bool:
+        ref = self._refs.get((name, procs))
+        return ref is not None and ref.flagged
+
+    def reset(self, name: str, procs: int) -> None:
+        """Clear a program's state after re-profiling completed."""
+        self._refs.pop((name, procs), None)
+
+    def reference(self, name: str, procs: int) -> Optional[Tuple[float, float]]:
+        """Current (IPC, bandwidth) reference, if any."""
+        ref = self._refs.get((name, procs))
+        if ref is None:
+            return None
+        return (ref.ipc, ref.bandwidth)

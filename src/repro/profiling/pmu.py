@@ -1,0 +1,68 @@
+"""Simulated performance-monitoring-unit counters.
+
+The real Uberun monitor derives IPC from *Instructions Retired* and
+*UnHalted Core Cycles*, and memory bandwidth from the Home Agent
+*REQUESTS* uncore event (Section 5.1).  The simulated PMU exposes the
+same three counters, derived from the analytic model for a process
+running steadily under given conditions; the sampler computes IPC and
+bandwidth exactly the way the real tool would, instead of asking the
+model for them directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.apps.program import ProgramSpec
+from repro.errors import ProfileError
+from repro.perfmodel.execution import NodeConditions, process_rate
+
+
+@dataclass(frozen=True)
+class PMUSample:
+    """Raw counter deltas over one sampling interval (node-level, summed
+    over the job's processes on the node — the paper notes most counters
+    are only available at node granularity)."""
+
+    interval_s: float
+    instructions: float
+    core_cycles: float
+    dram_bytes: float
+
+    def ipc(self) -> float:
+        """Instructions per cycle (per core, since cycles are summed the
+        same way instructions are)."""
+        if self.core_cycles <= 0:
+            raise ProfileError("no cycles in PMU sample")
+        return self.instructions / self.core_cycles
+
+    def bandwidth_gbps(self) -> float:
+        """DRAM bandwidth in GB/s."""
+        if self.interval_s <= 0:
+            raise ProfileError("empty PMU interval")
+        return self.dram_bytes / self.interval_s / units.GB
+
+
+def read_pmu(
+    program: ProgramSpec,
+    conditions: NodeConditions,
+    n_nodes: int,
+    interval_s: float = 5.0,
+) -> PMUSample:
+    """Counters accumulated on one node over ``interval_s`` seconds of a
+    steady-state run under ``conditions``."""
+    if interval_s <= 0:
+        raise ProfileError("interval must be positive")
+    rate = process_rate(program, conditions, n_nodes)  # instr/s per proc
+    instructions = rate * conditions.procs * interval_s
+    core_cycles = program.freq_hz * conditions.procs * interval_s
+    cap = conditions.capacity_per_proc_mb
+    bpi = program.bytes_per_instr(cap, n_nodes)
+    dram_bytes = instructions * bpi
+    return PMUSample(
+        interval_s=interval_s,
+        instructions=instructions,
+        core_cycles=core_cycles,
+        dram_bytes=dram_bytes,
+    )

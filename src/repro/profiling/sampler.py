@@ -1,0 +1,73 @@
+"""LLC-manipulation sampling (paper Section 5.1).
+
+While a job runs exclusively, the monitor periodically reprograms the CAT
+allocation, holding each setting for a 5-second episode and reading the
+PMU counters.  Only 2, 4, 8, and 20 ways are sampled (lowering the
+allocation costs ~19 % slowdown on average, so the sweep is kept short);
+the remaining points of the IPC-LLC and BW-LLC curves come from linear
+interpolation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.apps.curves import PiecewiseLinearCurve
+from repro.apps.program import ProgramSpec
+from repro.errors import ProfileError
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.execution import NodeConditions
+from repro.profiling.pmu import read_pmu
+
+#: CAT settings the monitor samples (Section 5.1).
+SAMPLED_WAYS: Tuple[int, ...] = (2, 4, 8, 20)
+
+
+def _exclusive_conditions(
+    program: ProgramSpec, procs_on_node: int, ways: int,
+    n_nodes: int, spec: NodeSpec,
+) -> NodeConditions:
+    """Steady-state conditions of one node of an exclusive run with the
+    job restricted to ``ways`` LLC ways."""
+    cap = spec.cache.ways_to_mb(float(ways)) / procs_on_node
+    demand = program.demand_gbps_per_proc(
+        cap, n_nodes, core_peak_bw=spec.bandwidth.core_peak
+    ) * procs_on_node
+    granted = min(demand, spec.bandwidth.aggregate(procs_on_node))
+    return NodeConditions(procs_on_node, cap, granted)
+
+
+def sample_llc_curves(
+    program: ProgramSpec,
+    procs: int,
+    n_nodes: int,
+    spec: NodeSpec,
+    episode_s: float = 5.0,
+) -> Dict[str, PiecewiseLinearCurve]:
+    """Sample the IPC-LLC and BW-LLC curves of an exclusive run.
+
+    Returns ``{"ipc": curve, "bw": curve}``; the BW curve is stored
+    **per process** so the scheduler can re-scale it to any per-node
+    process count (Section 4.3 uses it as the per-node booking ``b``).
+    """
+    if procs < n_nodes:
+        raise ProfileError("cannot profile fewer processes than nodes")
+    procs_on_node = -(-procs // n_nodes)  # most-loaded node, as measured
+    sampled_ways = [w for w in SAMPLED_WAYS if w <= spec.llc_ways]
+    if spec.llc_ways not in sampled_ways:
+        sampled_ways.append(spec.llc_ways)
+    ipc_points = []
+    bw_points = []
+    for ways in sampled_ways:
+        conditions = _exclusive_conditions(
+            program, procs_on_node, ways, n_nodes, spec
+        )
+        sample = read_pmu(program, conditions, n_nodes, interval_s=episode_s)
+        ipc_points.append((float(ways), sample.ipc()))
+        bw_points.append(
+            (float(ways), sample.bandwidth_gbps() / procs_on_node)
+        )
+    return {
+        "ipc": PiecewiseLinearCurve(tuple(ipc_points)),
+        "bw": PiecewiseLinearCurve(tuple(bw_points)),
+    }

@@ -1,0 +1,38 @@
+"""Scheduling policies: Compact-n-Exclusive, Compact-n-Share, Spread-n-Share.
+
+All three run on the same age-based priority queue (the paper implements
+them in one prototype scheduler with a common basic algorithm, Section
+6.2); they differ in scale-factor choice, node-sharing, and resource
+awareness:
+
+========  =====  =======  ===========================================
+policy    scale  mode     resource accounting
+========  =====  =======  ===========================================
+CE        1x     E        whole idle nodes only
+CS        >=1x   S        cores only (lowest scale currently possible)
+SNS       auto   S        cores + LLC ways + memory bandwidth,
+                          profile-driven, CAT actuation
+========  =====  =======  ===========================================
+"""
+
+from repro.scheduling.base import BaseScheduler
+from repro.scheduling.demand import ResourceDemand, estimate_demand
+from repro.scheduling.placement import find_nodes, split_procs
+from repro.scheduling.ce import CompactExclusiveScheduler
+from repro.scheduling.backfill import CompactExclusiveBackfillScheduler
+from repro.scheduling.cs import CompactShareScheduler
+from repro.scheduling.sns import SpreadNShareScheduler
+from repro.scheduling.online_sns import OnlineSpreadNShareScheduler
+
+__all__ = [
+    "BaseScheduler",
+    "ResourceDemand",
+    "estimate_demand",
+    "find_nodes",
+    "split_procs",
+    "CompactExclusiveScheduler",
+    "CompactExclusiveBackfillScheduler",
+    "CompactShareScheduler",
+    "SpreadNShareScheduler",
+    "OnlineSpreadNShareScheduler",
+]

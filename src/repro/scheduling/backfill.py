@@ -1,0 +1,149 @@
+"""Compact-n-Exclusive with EASY backfilling (extra baseline).
+
+The paper compares SNS against plain CE and CS; production CE schedulers
+usually add *backfilling*, so this baseline quantifies how much of SNS's
+gain a smarter queue alone could recover.  EASY (aggressive) backfilling:
+when the head job cannot start, it receives a reservation at the
+earliest time enough nodes drain; queued jobs behind it may jump ahead
+only if they fit on currently idle nodes and either finish before the
+reservation or use nodes the reservation does not need.
+
+Under exclusive execution, run times are deterministic (the CE reference
+time), so reservations are exact in the simulator.  The policy tracks
+its own running set through placement decisions and the runtime's
+``on_job_finish`` hook — no scheduler/runtime API extensions needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.perfmodel.execution import reference_time
+from repro.scheduling.base import BaseScheduler
+from repro.scheduling.placement import split_procs
+from repro.sim.cluster import ClusterState
+from repro.sim.job import Job
+from repro.sim.runtime import Decision
+
+
+@dataclass
+class _Running:
+    n_nodes: int
+    finish_estimate: float
+
+
+class CompactExclusiveBackfillScheduler(BaseScheduler):
+    """CE + EASY backfilling."""
+
+    partitioned = False
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._running: Dict[int, _Running] = {}
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def _predicted_runtime(self, job: Job) -> float:
+        return reference_time(
+            job.program, job.procs, self.cluster_spec.node
+        ) * job.work_multiplier
+
+    def on_job_finish(self, job: Job, now: float) -> None:
+        self._running.pop(job.job_id, None)
+
+    # -- placement helpers -----------------------------------------------------
+
+    def _footprint(self, job: Job) -> Optional[int]:
+        n = self._base_nodes(job)
+        return n if self._valid_footprint(job, n) else None
+
+    def _start(self, cluster: ClusterState, job: Job, now: float,
+               n_nodes: int) -> Decision:
+        idle = cluster.idle_nodes()
+        chosen = idle[:n_nodes]
+        procs_per_node = split_procs(job.procs, chosen)
+        decision = self._install(
+            cluster, job, chosen, procs_per_node,
+            ways=cluster.spec.node.llc_ways, bw_per_node=0.0, scale_factor=1,
+        )
+        self._sanity_check_decision(decision)
+        self._running[job.job_id] = _Running(
+            n_nodes=n_nodes, finish_estimate=now + self._predicted_runtime(job)
+        )
+        return decision
+
+    def _reservation(
+        self, idle_now: int, n_head: int, now: float
+    ) -> Tuple[float, int]:
+        """Earliest time ``n_head`` nodes are free, plus the number of
+        *extra* free nodes at that time (the backfill shadow)."""
+        if idle_now >= n_head:
+            return now, idle_now - n_head
+        available = idle_now
+        for run in sorted(self._running.values(),
+                          key=lambda r: r.finish_estimate):
+            available += run.n_nodes
+            if available >= n_head:
+                return run.finish_estimate, available - n_head
+        # Head job can never start (bigger than the cluster): callers
+        # skip it; report an unreachable reservation.
+        return float("inf"), 0
+
+    # -- scheduling ------------------------------------------------------------
+
+    def schedule_point(
+        self, cluster: ClusterState, pending: Sequence[Job], now: float
+    ) -> List[Decision]:
+        queue = self._priority_queue(pending)
+        decisions: List[Decision] = []
+
+        # Start jobs in priority order while they fit.
+        index = 0
+        while index < len(queue):
+            job = queue[index]
+            n = self._footprint(job)
+            if n is None:
+                index += 1  # permanently unschedulable here; skip over
+                continue
+            if n <= len(cluster.idle_nodes()):
+                decisions.append(self._start(cluster, job, now, n))
+                index += 1
+            else:
+                break
+
+        head_tail = [
+            j for j in queue[index:] if self._footprint(j) is not None
+        ]
+        if not head_tail:
+            return decisions
+
+        # Head blocked: reserve for it, then backfill behind it.
+        head = head_tail[0]
+        n_head = self._footprint(head)
+        assert n_head is not None
+        idle_now = len(cluster.idle_nodes())
+        t_res, extra = self._reservation(idle_now, n_head, now)
+        head.times_passed_over += 1
+
+        for job in head_tail[1:]:
+            n = self._footprint(job)
+            assert n is not None
+            idle_now = len(cluster.idle_nodes())
+            if n > idle_now:
+                job.times_passed_over += 1
+                continue
+            runtime = self._predicted_runtime(job)
+            fits_before_reservation = now + runtime <= t_res + 1e-9
+            if fits_before_reservation or n <= extra:
+                decisions.append(self._start(cluster, job, now, n))
+                if not fits_before_reservation:
+                    extra -= n  # consumes shadow nodes past the reservation
+            else:
+                job.times_passed_over += 1
+        return decisions
+
+    def _try_place(self, cluster: ClusterState, job: Job, now: float):
+        raise NotImplementedError(  # pragma: no cover - not used
+            "backfill scheduler overrides schedule_point directly"
+        )

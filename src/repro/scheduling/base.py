@@ -1,0 +1,151 @@
+"""Common scheduler skeleton: the age-based priority queue.
+
+At every scheduling point the queue is scanned in priority order — jobs
+that have been passed over more often rank higher (aging), ties break by
+submission order.  A job that has reached the configurable age limit
+blocks the queue: nothing behind it is scheduled until it fits, which
+prevents starvation of resource-demanding jobs (Section 4.4).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import SchedulerConfig
+from repro.errors import SchedulingError
+from repro.hardware.topology import ClusterSpec
+from repro.sim.cluster import ClusterState
+from repro.sim.job import Job, Placement
+from repro.sim.runtime import Decision
+
+
+class BaseScheduler(abc.ABC):
+    """Shared queue mechanics; policies implement :meth:`_try_place`."""
+
+    #: Whether nodes run CAT-partitioned (overridden by SNS).
+    partitioned: bool = False
+
+    def __init__(self, cluster_spec: ClusterSpec,
+                 config: SchedulerConfig = SchedulerConfig()) -> None:
+        self.cluster_spec = cluster_spec
+        self.config = config
+        # Node-model knobs the runtime forwards to ClusterState; only
+        # meaningful for partitioned (SNS-family) policies.
+        self.enforce_bw = config.enforce_bw and self.partitioned
+        self.share_residual = config.share_residual
+
+    # -- queue mechanics ------------------------------------------------------
+
+    def _priority_key(self, job: Job) -> Tuple[int, float, int]:
+        """Aged jobs first, then FIFO by submission, then id."""
+        return (-job.times_passed_over, job.submit_time, job.job_id)
+
+    def schedule_point(
+        self, cluster: ClusterState, pending: Sequence[Job], now: float
+    ) -> List[Decision]:
+        # A single pass in priority order suffices: placements within a
+        # point only consume resources, so a job that failed to fit
+        # cannot become feasible later in the same point.
+        queue = self._priority_queue(pending)
+        decisions: List[Decision] = []
+        skipped: List[Job] = []
+        for job in queue:
+            decision = self._try_place(cluster, job, now)
+            if decision is not None:
+                decisions.append(decision)
+                continue
+            skipped.append(job)
+            if job.times_passed_over >= self.config.age_limit:
+                # Aged job blocks the queue (anti-starvation): nothing
+                # behind it is scheduled until it fits.
+                break
+        for job in skipped:
+            job.times_passed_over += 1
+        return decisions
+
+    def _priority_queue(self, pending: Sequence[Job]) -> List[Job]:
+        """Top of the queue in priority order.  Long queues (congested
+        trace replays) are truncated to ``max_queue_scan`` entries, like
+        the bounded queue depth of production schedulers."""
+        limit = self.config.max_queue_scan
+        if len(pending) <= limit:
+            return sorted(pending, key=self._priority_key)
+        import heapq
+        return heapq.nsmallest(limit, pending, key=self._priority_key)
+
+    # -- shared placement helpers -----------------------------------------------
+
+    def _install(
+        self,
+        cluster: ClusterState,
+        job: Job,
+        node_ids: Sequence[int],
+        procs_per_node: Dict[int, int],
+        ways: int,
+        bw_per_node: float,
+        scale_factor: int,
+        net_per_node: float = 0.0,
+    ) -> Decision:
+        """Install the job's slices on the chosen nodes and wrap the
+        result as a :class:`Decision`."""
+        n_nodes = len(node_ids)
+        installed = []
+        try:
+            for nid in node_ids:
+                cluster.place(
+                    nid, job.job_id, job.program, procs_per_node[nid],
+                    ways, bw_per_node, n_nodes, net=net_per_node,
+                )
+                installed.append(nid)
+        except Exception:
+            for nid in installed:  # keep cluster consistent on failure
+                cluster.remove(nid, job.job_id)
+            raise
+        placement = Placement(
+            node_ids=tuple(node_ids),
+            procs_per_node=dict(procs_per_node),
+            dedicated_ways=ways,
+            booked_bw=bw_per_node,
+            booked_net=net_per_node,
+        )
+        return Decision(job=job, placement=placement, scale_factor=scale_factor)
+
+    def _base_nodes(self, job: Job) -> int:
+        """CE minimum footprint of the job."""
+        return self.cluster_spec.node.min_nodes_for(job.procs)
+
+    def _valid_footprint(self, job: Job, n_nodes: int) -> bool:
+        """Whether the job can run on ``n_nodes`` nodes at all."""
+        if n_nodes > self.cluster_spec.num_nodes:
+            return False
+        if job.program.max_nodes is not None and n_nodes > job.program.max_nodes:
+            return False
+        if n_nodes > job.procs:
+            return False
+        from repro.apps.frameworks import framework_of
+        from repro.errors import ConfigError
+        try:
+            framework_of(job.program.framework).validate_footprint(
+                job.procs, n_nodes
+            )
+        except ConfigError:
+            return False
+        return True
+
+    # -- policy hook ------------------------------------------------------------
+
+    @abc.abstractmethod
+    def _try_place(
+        self, cluster: ClusterState, job: Job, now: float
+    ) -> Optional[Decision]:
+        """Try to place one job right now; mutate the cluster and return
+        a decision on success, return ``None`` (and leave the cluster
+        untouched) when the job does not fit."""
+
+    def _sanity_check_decision(self, decision: Decision) -> None:
+        if decision.placement.total_procs != decision.job.procs:
+            raise SchedulingError(
+                f"placement covers {decision.placement.total_procs} of "
+                f"{decision.job.procs} processes"
+            )

@@ -1,0 +1,119 @@
+"""Node search and selection (paper Section 4.4).
+
+SNS reduces fragmentation by first clustering nodes into groups with the
+same idle-core count and trying to satisfy a job within one group; only
+if no single group suffices does it search the whole cluster.  Among the
+qualifying nodes it picks the *idlest* ones — lowest occupancy metric
+``Co + Bo + beta * Wo`` (occupied core, bandwidth, and LLC-way
+fractions), with the LLC term weighted by ``beta = 2`` because cache
+interference hurts most.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import SchedulingError
+from repro.sim.cluster import ClusterState
+
+
+def split_procs(procs: int, node_ids: Sequence[int]) -> Dict[int, int]:
+    """Divide ``procs`` processes across nodes as evenly as possible
+    (the paper's load-balanced split: 32 processes on 2 nodes -> 16+16)."""
+    n = len(node_ids)
+    if n < 1:
+        raise SchedulingError("cannot split across zero nodes")
+    if procs < n:
+        raise SchedulingError(f"cannot split {procs} processes onto {n} nodes")
+    base, extra = divmod(procs, n)
+    return {
+        nid: base + (1 if i < extra else 0)
+        for i, nid in enumerate(node_ids)
+    }
+
+
+def find_nodes(
+    cluster: ClusterState,
+    n_nodes: int,
+    cores: int,
+    ways: int,
+    bw: float,
+    beta: float,
+    net: float = 0.0,
+) -> Optional[List[int]]:
+    """Find ``n_nodes`` nodes that can each host a slice of ``cores``
+    cores, ``ways`` dedicated LLC ways, ``bw`` GB/s booked memory
+    bandwidth, and ``net`` booked link-utilization fraction.
+
+    Returns the chosen node ids (lowest occupancy metric first) or
+    ``None`` when the demand cannot be met anywhere.
+    """
+    if n_nodes < 1 or cores < 1:
+        raise SchedulingError("n_nodes and cores must be >= 1")
+
+    total_cores = cluster.spec.node.cores
+
+    # Fast fail on congested clusters: the core dimension alone rules the
+    # request out without touching any node.
+    if cluster.count_with_free_cores(cores) < n_nodes:
+        return None
+
+    # Bound per-call work on huge clusters: scanning a few hundred
+    # candidates is enough to pick well-placed nodes; exhaustive scans of
+    # tens of thousands of part-full nodes would dominate runtime.
+    scan_cap = max(256, 4 * n_nodes)
+
+    def qualify(ids: Sequence[int]) -> List[int]:
+        out: List[int] = []
+        for nid in ids:
+            if cluster.node(nid).can_host(cores, ways, bw, net):
+                out.append(nid)
+                if len(out) >= scan_cap:
+                    break
+        return out
+
+    def pick(ids: List[int]) -> List[int]:
+        if len(ids) <= n_nodes:
+            return ids
+        return heapq.nsmallest(
+            n_nodes, ids,
+            key=lambda nid: (cluster.node(nid).occupancy_metric(beta), nid),
+        )
+
+    buckets = cluster.free_core_buckets()
+    # Idlest groups first: selecting the emptiest compatible group keeps
+    # per-group consumption even and preserves fuller groups for compact
+    # jobs.
+    eligible = sorted((f for f in buckets if f >= cores and buckets[f]),
+                      reverse=True)
+    for free in eligible:
+        ids = buckets[free]
+        if free == total_cores:
+            # Fully idle nodes are interchangeable (identical state,
+            # metric 0): check one representative instead of scanning
+            # thousands on large clusters.
+            if len(ids) >= n_nodes:
+                it = iter(ids)
+                if cluster.node(next(iter(ids))).can_host(cores, ways, bw, net):
+                    return [nid for nid, _ in zip(it, range(n_nodes))]
+            continue
+        qualified = qualify(ids)
+        if len(qualified) >= n_nodes:
+            return pick(qualified)
+    # No single group suffices: search the whole cluster.  (The fully
+    # idle group, if any, was necessarily smaller than n_nodes here, so
+    # this pool stays small.)
+    whole: List[int] = []
+    for free in eligible:
+        ids = buckets[free]
+        if free == total_cores:
+            if ids and cluster.node(next(iter(ids))).can_host(cores, ways, bw, net):
+                whole.extend(ids)
+        else:
+            whole.extend(qualify(ids))
+        if len(whole) >= scan_cap:
+            break
+    if len(whole) >= n_nodes:
+        return pick(whole)
+    return None

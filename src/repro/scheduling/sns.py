@@ -1,0 +1,99 @@
+"""Spread-n-Share: the paper's contribution (Sections 4.3-4.4, Fig 11).
+
+For the highest-priority job, SNS walks the profiled scale factors in
+descending exclusive-run performance.  For each scale it estimates the
+per-node demand (cores, LLC ways, bandwidth) from the profile curves and
+the job's slowdown threshold alpha, then searches for enough nodes with
+that much of *each* resource free — grouped by idle-core count first,
+whole cluster second, idlest (lowest ``Co + Bo + beta*Wo``) selected.
+The first scale with a feasible placement wins; the job's ways are CAT-
+partitioned and its bandwidth booking is deducted from the chosen nodes.
+If no scale fits, the job is delayed under the aging policy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.config import SchedulerConfig
+from repro.errors import ProfileError
+from repro.hardware.topology import ClusterSpec
+from repro.profiling.database import ProfileDatabase
+from repro.scheduling.base import BaseScheduler
+from repro.scheduling.demand import estimate_demand
+from repro.scheduling.placement import find_nodes, split_procs
+from repro.sim.cluster import ClusterState
+from repro.sim.job import Job
+from repro.sim.runtime import Decision
+
+
+class SpreadNShareScheduler(BaseScheduler):
+    """SNS policy: automatic scaling + resource-aware co-location."""
+
+    partitioned = True
+
+    def __init__(
+        self,
+        cluster_spec: ClusterSpec,
+        config: SchedulerConfig = SchedulerConfig(),
+        database: Optional[ProfileDatabase] = None,
+    ) -> None:
+        super().__init__(cluster_spec, config)
+        self.database = database if database is not None else ProfileDatabase()
+
+    def _get_profile(self, job: Job):
+        """Profile lookup; the online variant overrides this to consult
+        its piggybacked exploration store."""
+        return self.database.get_or_profile(
+            job.program, job.procs, self.cluster_spec.node,
+            self.cluster_spec.num_nodes,
+            candidate_scales=self.config.candidate_scales,
+        )
+
+    def _try_place(
+        self, cluster: ClusterState, job: Job, now: float
+    ) -> Optional[Decision]:
+        spec = self.cluster_spec.node
+        alpha = job.alpha if job.alpha is not None else self.config.default_alpha
+        try:
+            profile = self._get_profile(job)
+        except ProfileError:
+            return None
+
+        # Bandwidth headroom: booking beyond `headroom * peak` is refused.
+        slack = (1.0 - self.config.bw_headroom) * spec.peak_bw
+
+        for k in profile.preferred_scale_order(self.config.scale_tolerance):
+            scale_profile = profile.get(k)
+            net_fraction = 0.0
+            if self.config.manage_network:
+                net_fraction = job.program.comm.network_fraction(
+                    scale_profile.n_nodes
+                )
+            demand = estimate_demand(
+                scale_profile, job.procs, alpha, spec,
+                min_ways=self.config.min_ways,
+                network_fraction=net_fraction,
+            )
+            if not self._valid_footprint(job, demand.n_nodes):
+                continue
+            chosen = find_nodes(
+                cluster,
+                demand.n_nodes,
+                demand.cores_per_node,
+                demand.ways,
+                demand.bw_per_node + slack,
+                beta=self.config.beta,
+                net=demand.net_per_node,
+            )
+            if chosen is None:
+                continue
+            procs_per_node = split_procs(job.procs, chosen)
+            decision = self._install(
+                cluster, job, chosen, procs_per_node,
+                ways=demand.ways, bw_per_node=demand.bw_per_node,
+                scale_factor=k, net_per_node=demand.net_per_node,
+            )
+            self._sanity_check_decision(decision)
+            return decision
+        return None

@@ -1,0 +1,26 @@
+"""Discrete-event cluster simulator.
+
+The simulator is the substitute for the paper's physical testbed: it holds
+runtime node state (cores, CAT way ledger, booked bandwidth), integrates
+job progress piecewise under the analytic performance model, and invokes a
+scheduling policy at every scheduling point (job submission / completion),
+exactly as Uberun does.
+"""
+
+from repro.sim.job import Job, JobState
+from repro.sim.node import NodeState
+from repro.sim.cluster import ClusterState
+from repro.sim.engine import EventQueue
+from repro.sim.runtime import Simulation, SimulationResult
+from repro.sim.telemetry import TelemetryRecorder
+
+__all__ = [
+    "Job",
+    "JobState",
+    "NodeState",
+    "ClusterState",
+    "EventQueue",
+    "Simulation",
+    "SimulationResult",
+    "TelemetryRecorder",
+]

@@ -1,0 +1,142 @@
+"""Runtime cluster state: the node pool with free-core indexing.
+
+The SNS placement algorithm first clusters nodes into groups by idle-core
+count and tries to place a job within a single group (Section 4.4); the
+same index makes CE's "find N fully idle nodes" O(N) even on the 32K-node
+simulated clusters of Fig 20.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Set
+
+from repro.errors import SimulationError
+from repro.hardware.topology import ClusterSpec
+from repro.sim.node import NodeState
+
+
+@dataclass
+class ClusterState:
+    """All nodes of the simulated cluster plus a free-core index."""
+
+    spec: ClusterSpec
+    partitioned: bool = True
+    enforce_bw: bool = False
+    share_residual: bool = True
+    nodes: List[NodeState] = field(init=False)
+    # Buckets are insertion-ordered id->None maps: O(1) add/remove with a
+    # deterministic iteration order, and — unlike sorting — no O(G log G)
+    # cost per query on clusters with tens of thousands of idle nodes.
+    _by_free_cores: Dict[int, Dict[int, None]] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.nodes = [
+            NodeState(
+                node_id=i,
+                spec=self.spec.node,
+                partitioned=self.partitioned,
+                enforce_bw=self.enforce_bw,
+                share_residual=self.share_residual,
+            )
+            for i in range(self.spec.num_nodes)
+        ]
+        self._by_free_cores = {
+            self.spec.node.cores: dict.fromkeys(range(len(self.nodes)))
+        }
+
+    # -- index maintenance -----------------------------------------------------
+
+    def _reindex(self, node: NodeState, old_free: int) -> None:
+        new_free = node.free_cores
+        if new_free == old_free:
+            return
+        bucket = self._by_free_cores.get(old_free)
+        if bucket is None or node.node_id not in bucket:
+            raise SimulationError("free-core index out of sync")
+        del bucket[node.node_id]
+        if not bucket:
+            del self._by_free_cores[old_free]
+        self._by_free_cores.setdefault(new_free, {})[node.node_id] = None
+
+    def place(self, node_id: int, *args, **kwargs) -> None:
+        """Place a job slice on a node, keeping the index consistent.
+
+        Arguments after ``node_id`` are forwarded to
+        :meth:`NodeState.place`.
+        """
+        node = self.nodes[node_id]
+        old = node.free_cores
+        node.place(*args, **kwargs)
+        self._reindex(node, old)
+
+    def remove(self, node_id: int, job_id: int) -> None:
+        node = self.nodes[node_id]
+        old = node.free_cores
+        node.remove(job_id)
+        self._reindex(node, old)
+
+    # -- queries -----------------------------------------------------------------
+
+    def node(self, node_id: int) -> NodeState:
+        return self.nodes[node_id]
+
+    def idle_nodes(self) -> List[int]:
+        """Fully idle node ids (deterministic insertion order)."""
+        return list(self._by_free_cores.get(self.spec.node.cores, ()))
+
+    def groups_by_free_cores(self, min_free: int = 1) -> Dict[int, List[int]]:
+        """Node groups keyed by free-core count (>= ``min_free`` only),
+        each group in deterministic insertion order."""
+        return {
+            free: list(ids)
+            for free, ids in self._by_free_cores.items()
+            if free >= min_free and ids
+        }
+
+    def free_core_buckets(self) -> Dict[int, Dict[int, None]]:
+        """Read-only view of the internal free-core index: bucket key is
+        the free-core count, values are insertion-ordered node-id maps.
+        Callers must not mutate it; it exists so hot placement paths can
+        scan buckets without copying them."""
+        return self._by_free_cores
+
+    def nodes_with_free_cores(self, min_free: int) -> List[int]:
+        """All node ids with at least ``min_free`` free cores."""
+        out: List[int] = []
+        for free, ids in self._by_free_cores.items():
+            if free >= min_free:
+                out.extend(ids)
+        return out
+
+    def count_with_free_cores(self, min_free: int) -> int:
+        return sum(
+            len(ids) for free, ids in self._by_free_cores.items()
+            if free >= min_free
+        )
+
+    def total_free_cores(self) -> int:
+        return sum(n.free_cores for n in self.nodes)
+
+    def verify_index(self) -> None:
+        """Invariant check used by tests and defensive assertions."""
+        seen: Set[int] = set()
+        for free, ids in self._by_free_cores.items():
+            for nid in ids:
+                if self.nodes[nid].free_cores != free:
+                    raise SimulationError(
+                        f"node {nid} indexed at {free} free cores but has "
+                        f"{self.nodes[nid].free_cores}"
+                    )
+                if nid in seen:
+                    raise SimulationError(f"node {nid} indexed twice")
+                seen.add(nid)
+        if len(seen) != len(self.nodes):
+            raise SimulationError("free-core index does not cover all nodes")
+
+    def resident_jobs_on(self, node_ids: Iterable[int]) -> Set[int]:
+        """Union of job ids resident on the given nodes."""
+        out: Set[int] = set()
+        for nid in node_ids:
+            out.update(self.nodes[nid].resident_job_ids)
+        return out

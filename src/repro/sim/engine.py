@@ -1,0 +1,100 @@
+"""Discrete-event queue with lazy cancellation.
+
+Job-finish events are re-scheduled whenever co-runner churn changes a
+job's speed; instead of searching the heap, each job carries an event
+version and stale events are dropped on pop (standard lazy-deletion
+pattern, O(log n) per operation).
+"""
+
+from __future__ import annotations
+
+import enum
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SimulationError
+
+
+class EventKind(enum.IntEnum):
+    """Event types, ordered so ties at equal timestamps resolve sensibly:
+    finishes free resources before submissions claim them."""
+
+    JOB_FINISH = 0
+    JOB_SUBMIT = 1
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    time: float
+    kind: EventKind
+    seq: int
+    job_id: int = field(compare=False)
+    version: int = field(compare=False, default=0)
+
+
+class EventQueue:
+    """Min-heap of events with version-based lazy cancellation."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._versions: dict = {}
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push_submit(self, time: float, job_id: int) -> None:
+        if time < self._now - 1e-9:
+            raise SimulationError("cannot schedule event in the past")
+        heapq.heappush(
+            self._heap, Event(time, EventKind.JOB_SUBMIT, next(self._seq), job_id)
+        )
+
+    def push_finish(self, time: float, job_id: int) -> None:
+        """(Re-)schedule a job's finish; any previously queued finish for
+        the same job becomes stale."""
+        if time < self._now - 1e-9:
+            raise SimulationError("cannot schedule event in the past")
+        version = self._versions.get(job_id, 0) + 1
+        self._versions[job_id] = version
+        heapq.heappush(
+            self._heap,
+            Event(time, EventKind.JOB_FINISH, next(self._seq), job_id, version),
+        )
+
+    def cancel_finish(self, job_id: int) -> None:
+        """Invalidate any queued finish event for ``job_id``."""
+        self._versions[job_id] = self._versions.get(job_id, 0) + 1
+
+    def pop(self) -> Optional[Event]:
+        """Next live event, advancing the clock; ``None`` when drained."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.kind is EventKind.JOB_FINISH:
+                if self._versions.get(ev.job_id) != ev.version:
+                    continue  # stale
+            if ev.time < self._now - 1e-9:
+                raise SimulationError("event queue went backwards in time")
+            self._now = max(self._now, ev.time)
+            return ev
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event without popping it."""
+        while self._heap:
+            ev = self._heap[0]
+            if (
+                ev.kind is EventKind.JOB_FINISH
+                and self._versions.get(ev.job_id) != ev.version
+            ):
+                heapq.heappop(self._heap)
+                continue
+            return ev.time
+        return None

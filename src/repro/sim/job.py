@@ -1,0 +1,161 @@
+"""Job objects and their lifecycle records."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.apps.program import ProgramSpec
+from repro.errors import SimulationError
+
+
+class JobState(enum.Enum):
+    """Lifecycle of a batch job."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    FINISHED = "finished"
+
+
+@dataclass
+class Placement:
+    """Where and how a job runs: per-node process counts and dedicated
+    LLC ways (the same on every node, as in the paper)."""
+
+    node_ids: tuple
+    procs_per_node: Dict[int, int]
+    dedicated_ways: int
+    booked_bw: float  # GB/s booked per node
+    booked_net: float = 0.0  # link-utilization fraction booked per node by the scheduler
+
+    def __post_init__(self) -> None:
+        if not self.node_ids:
+            raise SimulationError("placement must cover at least one node")
+        if set(self.node_ids) != set(self.procs_per_node):
+            raise SimulationError("placement nodes and proc map disagree")
+        if any(p <= 0 for p in self.procs_per_node.values()):
+            raise SimulationError("per-node process counts must be positive")
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def total_procs(self) -> int:
+        return sum(self.procs_per_node.values())
+
+
+@dataclass
+class Job:
+    """One application instance submitted to the cluster.
+
+    Progress accounting: ``remaining_work`` is measured in *reference
+    seconds* — seconds of execution under the CE solo baseline.  A job
+    running at speed ``s`` (relative to that baseline) consumes
+    ``s * dt`` units of work in ``dt`` seconds of simulated time.
+    """
+
+    job_id: int
+    program: ProgramSpec
+    procs: int
+    submit_time: float = 0.0
+    alpha: Optional[float] = None  # None -> scheduler default
+    #: Scales the job's total work relative to the program's calibrated
+    #: input size; used by trace replay to impose trace-given CE runtimes
+    #: (a multiplier m makes the job m x longer under any conditions).
+    work_multiplier: float = 1.0
+
+    state: JobState = field(default=JobState.PENDING, init=False)
+    start_time: Optional[float] = field(default=None, init=False)
+    finish_time: Optional[float] = field(default=None, init=False)
+    placement: Optional[Placement] = field(default=None, init=False)
+    scale_factor: int = field(default=1, init=False)
+
+    # progress integration
+    total_work: float = field(default=0.0, init=False)
+    remaining_work: float = field(default=0.0, init=False)
+    speed: float = field(default=0.0, init=False)
+    last_progress_update: float = field(default=0.0, init=False)
+
+    # queue aging (Section 4.4)
+    times_passed_over: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.procs <= 0:
+            raise SimulationError("job must have at least one process")
+        if self.submit_time < 0:
+            raise SimulationError("submit time must be non-negative")
+        if self.alpha is not None and not 0.0 < self.alpha <= 1.0:
+            raise SimulationError("alpha must be in (0, 1]")
+        if self.work_multiplier <= 0:
+            raise SimulationError("work multiplier must be positive")
+
+    # -- progress ----------------------------------------------------------
+
+    def begin(self, now: float, total_work: float, placement: Placement,
+              scale_factor: int) -> None:
+        if self.state is not JobState.PENDING:
+            raise SimulationError(f"job {self.job_id} started twice")
+        if total_work <= 0:
+            raise SimulationError("total work must be positive")
+        self.state = JobState.RUNNING
+        self.start_time = now
+        self.total_work = total_work
+        self.remaining_work = total_work
+        self.last_progress_update = now
+        self.placement = placement
+        self.scale_factor = scale_factor
+
+    def settle_progress(self, now: float) -> None:
+        """Integrate progress at the current speed up to ``now``."""
+        if self.state is not JobState.RUNNING:
+            raise SimulationError(f"job {self.job_id} is not running")
+        dt = now - self.last_progress_update
+        if dt < -1e-9:
+            raise SimulationError("time went backwards")
+        self.remaining_work = max(0.0, self.remaining_work - self.speed * dt)
+        self.last_progress_update = now
+
+    def set_speed(self, speed: float) -> None:
+        if speed <= 0:
+            raise SimulationError(
+                f"job {self.job_id} computed non-positive speed {speed}"
+            )
+        self.speed = speed
+
+    def projected_finish(self) -> float:
+        """Absolute finish time if conditions stay as they are."""
+        if self.state is not JobState.RUNNING:
+            raise SimulationError(f"job {self.job_id} is not running")
+        return self.last_progress_update + self.remaining_work / self.speed
+
+    def complete(self, now: float) -> None:
+        if self.state is not JobState.RUNNING:
+            raise SimulationError(f"job {self.job_id} is not running")
+        self.state = JobState.FINISHED
+        self.finish_time = now
+        self.remaining_work = 0.0
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def wait_time(self) -> float:
+        """Submit-to-start time."""
+        if self.start_time is None:
+            raise SimulationError(f"job {self.job_id} never started")
+        return self.start_time - self.submit_time
+
+    @property
+    def run_time(self) -> float:
+        """Start-to-finish time."""
+        if self.finish_time is None or self.start_time is None:
+            raise SimulationError(f"job {self.job_id} never finished")
+        return self.finish_time - self.start_time
+
+    @property
+    def turnaround_time(self) -> float:
+        """Submit-to-finish time."""
+        if self.finish_time is None:
+            raise SimulationError(f"job {self.job_id} never finished")
+        return self.finish_time - self.submit_time

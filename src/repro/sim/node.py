@@ -1,0 +1,185 @@
+"""Runtime state of one compute node.
+
+Tracks free cores, the CAT way ledger, booked bandwidth, and the set of
+resident job slices.  A node can run in *partitioned* mode (SNS: each job
+has dedicated ways; residual ways shared equally) or *unpartitioned* mode
+(CE/CS: no CAT actuation — the LLC is a free-for-all and capacity divides
+in proportion to each job's process count, which models the steady state
+of an unmanaged shared cache under equal per-core pressure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.apps.program import ProgramSpec
+from repro.errors import AllocationError
+from repro.hardware.cache import WayLedger
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.contention import Slice
+
+
+@dataclass
+class _Resident:
+    program: ProgramSpec
+    procs: int
+    n_nodes: int
+    booked_bw: float
+    booked_net: float = 0.0  # booked link-utilization fraction
+
+
+@dataclass
+class NodeState:
+    """Mutable per-node bookkeeping.
+
+    ``enforce_bw`` models Intel-MBA-style hard bandwidth partitioning:
+    a resident job's DRAM draw is clipped to its booking.  The paper's
+    testbed lacked MBA (Section 4.4), so the default is estimation-only.
+    ``share_residual`` controls the residual-way giveaway of Section 4.4;
+    disabling it is an ablation knob.
+    """
+
+    node_id: int
+    spec: NodeSpec
+    partitioned: bool = True
+    enforce_bw: bool = False
+    share_residual: bool = True
+    _residents: Dict[int, _Resident] = field(default_factory=dict)
+    _ledger: WayLedger = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._ledger = WayLedger(self.spec.cache)
+
+    # -- capacity queries ----------------------------------------------------
+
+    @property
+    def used_cores(self) -> int:
+        return sum(r.procs for r in self._residents.values())
+
+    @property
+    def free_cores(self) -> int:
+        return self.spec.cores - self.used_cores
+
+    @property
+    def free_ways(self) -> int:
+        return self._ledger.free_ways
+
+    @property
+    def booked_bw(self) -> float:
+        """Total bandwidth (GB/s) booked by the scheduler on this node."""
+        return sum(r.booked_bw for r in self._residents.values())
+
+    @property
+    def free_bw(self) -> float:
+        return self.spec.peak_bw - self.booked_bw
+
+    @property
+    def booked_net(self) -> float:
+        """Total booked link-utilization fraction (network dimension,
+        the paper's Section 3.3 extension)."""
+        return sum(r.booked_net for r in self._residents.values())
+
+    @property
+    def free_net(self) -> float:
+        return 1.0 - self.booked_net
+
+    @property
+    def is_idle(self) -> bool:
+        return not self._residents
+
+    @property
+    def resident_job_ids(self) -> List[int]:
+        return list(self._residents.keys())
+
+    def occupancy_metric(self, beta: float) -> float:
+        """The paper's node-selection metric ``Co + Bo + beta * Wo``
+        (occupied fractions of cores, bandwidth, and LLC ways)."""
+        co = self.used_cores / self.spec.cores
+        bo = min(1.0, self.booked_bw / self.spec.peak_bw)
+        wo = self._ledger.allocated_ways / self.spec.llc_ways
+        return co + bo + beta * wo
+
+    # -- allocation ----------------------------------------------------------
+
+    def can_host(self, procs: int, ways: int, bw: float,
+                 net: float = 0.0) -> bool:
+        """Whether a new slice (``procs`` cores, ``ways`` dedicated ways,
+        ``bw`` GB/s and ``net`` link fraction booked) fits right now."""
+        if procs > self.free_cores:
+            return False
+        if self.partitioned and not self._ledger.can_allocate(ways):
+            return False
+        if bw > self.free_bw + 1e-9:
+            return False
+        if net > self.free_net + 1e-9:
+            return False
+        return True
+
+    def place(self, job_id: int, program: ProgramSpec, procs: int,
+              ways: int, bw: float, n_nodes: int,
+              net: float = 0.0) -> None:
+        """Install a job slice on this node."""
+        if job_id in self._residents:
+            raise AllocationError(f"job {job_id} already on node {self.node_id}")
+        if procs > self.free_cores:
+            raise AllocationError(
+                f"node {self.node_id} has {self.free_cores} free cores; "
+                f"{procs} requested"
+            )
+        if net < 0:
+            raise AllocationError("network booking must be non-negative")
+        if self.partitioned:
+            self._ledger.allocate(job_id, ways)
+        self._residents[job_id] = _Resident(program, procs, n_nodes, bw, net)
+
+    def remove(self, job_id: int) -> None:
+        """Remove a job slice (on completion)."""
+        if job_id not in self._residents:
+            raise AllocationError(f"job {job_id} not on node {self.node_id}")
+        if self.partitioned:
+            self._ledger.release(job_id)
+        del self._residents[job_id]
+
+    # -- performance-model views ----------------------------------------------
+
+    def effective_ways(self, job_id: int) -> float:
+        """LLC ways the job effectively enjoys on this node.
+
+        Partitioned: dedicated ways plus equal share of residual ways.
+        Unpartitioned: proportional share of the whole LLC by process
+        count (free-for-all sharing).
+        """
+        if job_id not in self._residents:
+            raise AllocationError(f"job {job_id} not on node {self.node_id}")
+        if self.partitioned:
+            if not self.share_residual:
+                return float(self._ledger.dedicated(job_id))
+            return self._ledger.effective_ways(job_id)
+        total = self.used_cores
+        share = self._residents[job_id].procs / total
+        return self.spec.llc_ways * share
+
+    def slices(self) -> List[Slice]:
+        """Current slices for the contention solver."""
+        return [
+            Slice(
+                job_id=jid,
+                program=r.program,
+                procs=r.procs,
+                effective_ways=self.effective_ways(jid),
+                n_nodes=r.n_nodes,
+                bw_cap=(
+                    r.booked_bw
+                    if self.enforce_bw and r.booked_bw > 0
+                    else None
+                ),
+            )
+            for jid, r in self._residents.items()
+        ]
+
+    def dedicated_ways(self, job_id: int) -> int:
+        """Dedicated (CAT-partitioned) ways of a resident job."""
+        if not self.partitioned:
+            return 0
+        return self._ledger.dedicated(job_id)

@@ -1,0 +1,289 @@
+"""Simulation runtime: event loop + piecewise progress integration.
+
+The runtime owns the cluster state, the pending queue, and the event
+queue.  At every *scheduling point* (simulation start, job submission,
+job completion — Section 3.1) it hands the cluster and the pending queue
+to the scheduling policy, applies the returned placement decisions, and
+then re-integrates the progress of every job whose node conditions
+changed:
+
+1. settle each affected job's progress at the current speed up to *now*;
+2. apply the placement / removal;
+3. re-solve bandwidth arbitration on every node any affected job touches;
+4. recompute speeds and re-schedule finish events (lazy cancellation).
+
+Because conditions are piecewise-constant between events, the integration
+is exact — no time-stepping error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol, Sequence, Set
+
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.hardware.topology import ClusterSpec
+from repro.perfmodel.contention import arbitrate_node, node_network_load
+from repro.perfmodel.execution import NodeConditions, job_time, reference_time
+from repro.sim.cluster import ClusterState
+from repro.sim.engine import EventKind, EventQueue
+from repro.sim.job import Job, JobState, Placement
+from repro.sim.telemetry import TelemetryRecorder
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One placement decision returned by a scheduling policy.
+
+    The policy has already installed the job's slices on the cluster
+    (so it can account availability while scheduling); the runtime
+    starts the job and re-integrates progress.
+    """
+
+    job: Job
+    placement: Placement
+    scale_factor: int
+
+
+class SchedulerPolicy(Protocol):
+    """What the runtime needs from a scheduling policy."""
+
+    #: Whether nodes run with CAT way partitioning (SNS) or an
+    #: unpartitioned shared LLC (CE / CS).
+    partitioned: bool
+
+    def schedule_point(
+        self, cluster: ClusterState, pending: Sequence[Job], now: float
+    ) -> List[Decision]:
+        """Place as many pending jobs as the policy wants; mutate the
+        cluster via :meth:`ClusterState.place` and return the decisions."""
+        ...  # pragma: no cover
+
+
+@dataclass
+class SimulationResult:
+    """Everything the experiment harnesses read out of a run."""
+
+    jobs: List[Job]
+    makespan: float
+    telemetry: Optional[TelemetryRecorder]
+
+    @property
+    def finished_jobs(self) -> List[Job]:
+        return [j for j in self.jobs if j.state is JobState.FINISHED]
+
+    def mean_turnaround(self) -> float:
+        jobs = self.finished_jobs
+        if not jobs:
+            raise SimulationError("no finished jobs")
+        return sum(j.turnaround_time for j in jobs) / len(jobs)
+
+    def throughput(self) -> float:
+        """The paper's throughput metric: reciprocal of the average
+        submit-to-finish time (Section 6.2)."""
+        return 1.0 / self.mean_turnaround()
+
+    def node_seconds(self) -> float:
+        """Total node-seconds held by all jobs."""
+        return sum(
+            j.run_time * j.placement.n_nodes
+            for j in self.finished_jobs
+            if j.placement is not None
+        )
+
+
+class Simulation:
+    """One simulated execution of a job sequence under one policy."""
+
+    def __init__(
+        self,
+        cluster_spec: ClusterSpec,
+        policy: SchedulerPolicy,
+        jobs: Sequence[Job],
+        config: SimConfig = SimConfig(),
+    ) -> None:
+        ids = [j.job_id for j in jobs]
+        if len(set(ids)) != len(ids):
+            raise SimulationError("duplicate job ids")
+        self.cluster = ClusterState(
+            cluster_spec,
+            partitioned=policy.partitioned,
+            enforce_bw=getattr(policy, "enforce_bw", False),
+            share_residual=getattr(policy, "share_residual", True),
+        )
+        self.policy = policy
+        self.config = config
+        self.jobs: Dict[int, Job] = {j.job_id: j for j in jobs}
+        self.pending: List[Job] = []
+        self.events = EventQueue()
+        self.telemetry = (
+            TelemetryRecorder(cluster_spec.num_nodes) if config.telemetry else None
+        )
+        self._spec = cluster_spec.node
+        for job in jobs:
+            self.events.push_submit(job.submit_time, job.job_id)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> SimulationResult:
+        """Execute to completion and return the result."""
+        if self.telemetry is not None:
+            for nid in range(len(self.cluster.nodes)):
+                self.telemetry.record(nid, 0.0, 0.0)
+        while True:
+            event = self.events.pop()
+            if event is None:
+                break
+            now = self.events.now
+            if now > self.config.max_sim_time:
+                raise SimulationError("simulation exceeded max_sim_time")
+            if event.kind is EventKind.JOB_SUBMIT:
+                self.pending.append(self.jobs[event.job_id])
+            else:
+                self._finish_job(self.jobs[event.job_id], now)
+            self._scheduling_point(now)
+        if self.pending:
+            raise SimulationError(
+                f"{len(self.pending)} jobs never scheduled (deadlock): "
+                f"{[j.job_id for j in self.pending[:5]]}"
+            )
+        makespan = self.events.now
+        if self.telemetry is not None:
+            self.telemetry.close(makespan)
+        return SimulationResult(
+            jobs=list(self.jobs.values()),
+            makespan=makespan,
+            telemetry=self.telemetry,
+        )
+
+    # ----------------------------------------------------------- internals
+
+    def _finish_job(self, job: Job, now: float) -> None:
+        if job.state is not JobState.RUNNING:
+            raise SimulationError(f"finish event for non-running job {job.job_id}")
+        job.settle_progress(now)
+        if job.remaining_work > 1e-6 * max(1.0, job.total_work):
+            raise SimulationError(
+                f"job {job.job_id} finished with work left "
+                f"({job.remaining_work:.3g})"
+            )
+        placement = job.placement
+        assert placement is not None
+        touched = set(placement.node_ids)
+        affected = self._settle_residents(touched, now)
+        affected.discard(job.job_id)
+        for nid in placement.node_ids:
+            self.cluster.remove(nid, job.job_id)
+        job.complete(now)
+        self._refresh(affected, touched, now)
+        # Completion hook: lets policies piggyback profiling on finished
+        # runs (paper Section 4.4: exclusive runs refresh the database).
+        hook = getattr(self.policy, "on_job_finish", None)
+        if hook is not None:
+            hook(job, now)
+
+    def _scheduling_point(self, now: float) -> None:
+        if not self.pending:
+            return
+        decisions = self.policy.schedule_point(self.cluster, self.pending, now)
+        if not decisions:
+            self._check_liveness()
+            return
+        placed_ids = {d.job.job_id for d in decisions}
+        if len(placed_ids) != len(decisions):
+            raise SimulationError("policy placed the same job twice")
+        touched: Set[int] = set()
+        for d in decisions:
+            touched.update(d.placement.node_ids)
+        # Settle co-runners *before* the new slices change their speeds.
+        # (The policy already mutated the cluster, but allocations do not
+        # advance time, so settling at `now` is still exact.)
+        affected = self._settle_residents(touched, now)
+        for d in decisions:
+            job = d.job
+            if job not in self.pending:
+                raise SimulationError(
+                    f"policy placed job {job.job_id} that is not pending"
+                )
+            self.pending.remove(job)
+            work = (
+                reference_time(job.program, job.procs, self._spec)
+                * job.work_multiplier
+            )
+            job.begin(now, work, d.placement, d.scale_factor)
+            affected.add(job.job_id)
+        self._refresh(affected, touched, now)
+        self._check_liveness()
+
+    def _check_liveness(self) -> None:
+        if self.pending and not any(
+            j.state is JobState.RUNNING for j in self.jobs.values()
+        ) and self.events.peek_time() is None:
+            raise SimulationError(
+                "scheduler placed nothing on an idle cluster with pending "
+                f"jobs {[j.job_id for j in self.pending[:5]]}"
+            )
+
+    def _settle_residents(self, node_ids: Set[int], now: float) -> Set[int]:
+        """Settle progress of every running job resident on the given
+        nodes; returns their job ids."""
+        affected = self.cluster.resident_jobs_on(node_ids)
+        for jid in affected:
+            job = self.jobs.get(jid)
+            if job is None:
+                raise SimulationError(
+                    f"node hosts unknown job {jid} (policy placed a job "
+                    f"that was never submitted)"
+                )
+            if job.state is JobState.RUNNING:
+                job.settle_progress(now)
+        return set(affected)
+
+    def _refresh(self, job_ids: Set[int], touched_nodes: Set[int],
+                 now: float) -> None:
+        """Recompute speeds and finish events for the given jobs, and
+        record telemetry for every node whose conditions changed."""
+        # Every node any affected job touches needs a fresh arbitration.
+        nodes_needed: Set[int] = set(touched_nodes)
+        for jid in job_ids:
+            job = self.jobs[jid]
+            if job.state is JobState.RUNNING and job.placement is not None:
+                nodes_needed.update(job.placement.node_ids)
+        grants: Dict[int, Dict[int, float]] = {}
+        net_loads: Dict[int, float] = {}
+        for nid in nodes_needed:
+            node = self.cluster.node(nid)
+            slices = node.slices()
+            grants[nid] = arbitrate_node(node.spec, slices)
+            net_loads[nid] = node_network_load(node.spec, slices)
+
+        for jid in job_ids:
+            job = self.jobs[jid]
+            if job.state is not JobState.RUNNING:
+                continue
+            placement = job.placement
+            assert placement is not None
+            conditions = []
+            for nid in placement.node_ids:
+                node = self.cluster.node(nid)
+                procs = placement.procs_per_node[nid]
+                eff_ways = node.effective_ways(jid)
+                cap = node.spec.cache.ways_to_mb(eff_ways) / procs
+                conditions.append(
+                    NodeConditions(
+                        procs, cap, grants[nid][jid],
+                        net_load=net_loads[nid],
+                    )
+                )
+            t_now = job_time(job.program, job.procs, conditions, self._spec)
+            t_ref = reference_time(job.program, job.procs, self._spec)
+            job.set_speed(t_ref / t_now)
+            self.events.push_finish(job.projected_finish(), jid)
+
+        if self.telemetry is not None:
+            for nid in touched_nodes:
+                self.telemetry.record(
+                    nid, now, sum(grants[nid].values()),
+                    cores=self.cluster.node(nid).used_cores,
+                )

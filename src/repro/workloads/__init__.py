@@ -1,0 +1,15 @@
+"""Workload construction: random job sequences, controlled mixes, and the
+synthetic Trinity-like trace used for large-cluster simulation."""
+
+from repro.workloads.sequences import random_sequence, random_sequences
+from repro.workloads.mixes import controlled_mix, mix_ladder
+from repro.workloads.trace import SyntheticTraceConfig, synthesize_trace
+
+__all__ = [
+    "random_sequence",
+    "random_sequences",
+    "controlled_mix",
+    "mix_ladder",
+    "SyntheticTraceConfig",
+    "synthesize_trace",
+]

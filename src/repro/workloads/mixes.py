@@ -1,0 +1,83 @@
+"""Controlled scaling-ratio mixes (paper Section 6.3, Fig 19).
+
+To isolate the impact of the workload's scaling ratio, the paper builds
+11 simplified sequences of 30 full-node (28-core) jobs mixing BW (a
+scaling program) and HC (a neutral program), sweeping the scaling ratio
+from 0 to 1.  Since every job occupies a full node, CS and CE behave
+identically on these mixes.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.apps.catalog import get_program
+from repro.errors import WorkloadError
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.execution import reference_time
+from repro.sim.job import Job
+
+
+def controlled_mix(
+    target_ratio: float,
+    n_jobs: int = 30,
+    procs: int = 28,
+    scaling_program: str = "BW",
+    neutral_program: str = "HC",
+    spec: NodeSpec = NodeSpec(),
+    seed: int = 0,
+) -> Tuple[List[Job], float]:
+    """A mix whose core-hour scaling ratio approximates ``target_ratio``.
+
+    Returns ``(jobs, achieved_ratio)`` — the achieved ratio is computed
+    from the programs' CE core-hours, which is how the paper defines it.
+    Job order is shuffled deterministically by ``seed`` so scaling jobs
+    are interleaved rather than front-loaded.
+    """
+    if not 0.0 <= target_ratio <= 1.0:
+        raise WorkloadError("target ratio must be in [0, 1]")
+    if n_jobs < 1:
+        raise WorkloadError("mix needs at least one job")
+    scaling = get_program(scaling_program)
+    neutral = get_program(neutral_program)
+    t_s = reference_time(scaling, procs, spec)
+    t_n = reference_time(neutral, procs, spec)
+
+    # Choose the scaling-job count whose core-hour fraction is closest
+    # to the target (both job types use the same core count, so only
+    # reference times weigh in).
+    best_n, best_err = 0, float("inf")
+    for n_s in range(n_jobs + 1):
+        total = n_s * t_s + (n_jobs - n_s) * t_n
+        ratio = n_s * t_s / total
+        err = abs(ratio - target_ratio)
+        if err < best_err:
+            best_n, best_err = n_s, err
+    n_s = best_n
+    achieved = n_s * t_s / (n_s * t_s + (n_jobs - n_s) * t_n)
+
+    kinds = [scaling] * n_s + [neutral] * (n_jobs - n_s)
+    rng = np.random.default_rng(seed)
+    rng.shuffle(kinds)
+    jobs = [
+        Job(job_id=i, program=p, procs=procs, submit_time=0.0)
+        for i, p in enumerate(kinds)
+    ]
+    return jobs, achieved
+
+
+def mix_ladder(
+    n_points: int = 11, **kwargs
+) -> List[Tuple[float, List[Job], float]]:
+    """The Fig 19 ladder: ``n_points`` mixes with target ratios evenly
+    spaced on [0, 1].  Returns (target, jobs, achieved) triples."""
+    if n_points < 2:
+        raise WorkloadError("ladder needs at least two points")
+    out = []
+    for i in range(n_points):
+        target = i / (n_points - 1)
+        jobs, achieved = controlled_mix(target, seed=i, **kwargs)
+        out.append((target, jobs, achieved))
+    return out

@@ -1,0 +1,135 @@
+"""LLC geometry and CAT way-partition ledger."""
+
+import pytest
+
+from repro.errors import AllocationError, HardwareModelError
+from repro.hardware.cache import CacheModel, WayLedger
+
+
+@pytest.fixture
+def cache() -> CacheModel:
+    return CacheModel()
+
+
+@pytest.fixture
+def ledger(cache) -> WayLedger:
+    return WayLedger(cache)
+
+
+class TestCacheModel:
+    def test_reference_geometry(self, cache):
+        assert cache.total_ways == 20
+        assert cache.capacity_mb == pytest.approx(70.0)
+
+    def test_mb_per_way(self, cache):
+        assert cache.mb_per_way() == pytest.approx(3.5)
+
+    def test_ways_to_mb_fractional(self, cache):
+        assert cache.ways_to_mb(2.5) == pytest.approx(8.75)
+
+    def test_ways_to_mb_rejects_negative(self, cache):
+        with pytest.raises(HardwareModelError):
+            cache.ways_to_mb(-1)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"total_ways": 0},
+        {"capacity_mb": 0},
+        {"min_ways": 0},
+        {"min_ways": 21},
+        {"max_partitions": 0},
+    ])
+    def test_invalid_geometry_rejected(self, kwargs):
+        with pytest.raises(HardwareModelError):
+            CacheModel(**kwargs)
+
+
+class TestLedgerAllocation:
+    def test_fresh_ledger_all_free(self, ledger):
+        assert ledger.free_ways == 20
+        assert ledger.allocated_ways == 0
+
+    def test_allocate_and_release(self, ledger):
+        ledger.allocate(1, 5)
+        assert ledger.free_ways == 15
+        assert ledger.dedicated(1) == 5
+        assert ledger.release(1) == 5
+        assert ledger.free_ways == 20
+
+    def test_double_allocation_rejected(self, ledger):
+        ledger.allocate(1, 5)
+        with pytest.raises(AllocationError):
+            ledger.allocate(1, 3)
+
+    def test_sub_minimum_rejected(self, ledger):
+        # Section 5.1: most programs need at least 2 ways.
+        with pytest.raises(AllocationError):
+            ledger.allocate(1, 1)
+
+    def test_exhaustion_rejected(self, ledger):
+        ledger.allocate(1, 18)
+        with pytest.raises(AllocationError):
+            ledger.allocate(2, 3)
+
+    def test_partition_limit(self):
+        cache = CacheModel(total_ways=40, max_partitions=3, capacity_mb=70.0)
+        ledger = WayLedger(cache)
+        for jid in range(3):
+            ledger.allocate(jid, 2)
+        assert not ledger.can_allocate(2)
+        with pytest.raises(AllocationError):
+            ledger.allocate(99, 2)
+
+    def test_release_unknown_job_rejected(self, ledger):
+        with pytest.raises(AllocationError):
+            ledger.release(42)
+
+    def test_can_allocate_matches_allocate(self, ledger):
+        ledger.allocate(1, 10)
+        assert ledger.can_allocate(10)
+        assert not ledger.can_allocate(11)
+        assert not ledger.can_allocate(1)
+
+
+class TestResidualSharing:
+    """Unused ways are given away in equal shares (Section 4.4)."""
+
+    def test_sole_job_gets_everything(self, ledger):
+        ledger.allocate(1, 4)
+        assert ledger.effective_ways(1) == pytest.approx(20.0)
+
+    def test_two_jobs_split_residual(self, ledger):
+        ledger.allocate(1, 4)
+        ledger.allocate(2, 6)
+        # 10 free ways, 5 bonus each.
+        assert ledger.effective_ways(1) == pytest.approx(9.0)
+        assert ledger.effective_ways(2) == pytest.approx(11.0)
+
+    def test_reclaim_on_new_dispatch(self, ledger):
+        ledger.allocate(1, 4)
+        before = ledger.effective_ways(1)
+        ledger.allocate(2, 14)
+        after = ledger.effective_ways(1)
+        assert after < before
+        assert after == pytest.approx(5.0)
+
+    def test_effective_ways_sum_to_total(self, ledger):
+        ledger.allocate(1, 3)
+        ledger.allocate(2, 5)
+        ledger.allocate(3, 2)
+        total = sum(ledger.effective_ways(j) for j in (1, 2, 3))
+        assert total == pytest.approx(20.0)
+
+    def test_effective_capacity(self, ledger):
+        ledger.allocate(1, 10)
+        # 10 dedicated + 10 residual = whole 70 MB.
+        assert ledger.effective_capacity_mb(1) == pytest.approx(70.0)
+
+    def test_unknown_job_effective_ways_rejected(self, ledger):
+        with pytest.raises(AllocationError):
+            ledger.effective_ways(404)
+
+    def test_snapshot_is_a_copy(self, ledger):
+        ledger.allocate(1, 5)
+        snap = ledger.snapshot()
+        snap[1] = 99
+        assert ledger.dedicated(1) == 5

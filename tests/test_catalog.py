@@ -1,0 +1,173 @@
+"""Catalog calibration: every program must land in the band the paper
+reports for it (Figs 2, 4, 6, 12, 13)."""
+
+import pytest
+
+from repro.apps.catalog import (
+    FIG13_PROGRAMS,
+    PROGRAMS,
+    SCALING_CLASS_EXPECTED,
+    get_program,
+    program_names,
+    stream_program,
+)
+from repro.errors import UnknownProgramError
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.execution import predict_exclusive_time, reference_time
+
+SPEC = NodeSpec()
+
+
+def solo_bandwidth(name: str, procs: int = 16) -> float:
+    program = get_program(name)
+    cap = SPEC.cache.ways_to_mb(float(SPEC.llc_ways)) / procs
+    demand = program.demand_gbps_per_proc(cap, 1) * procs
+    return min(demand, SPEC.bandwidth.aggregate(procs))
+
+
+def speedup(name: str, n_nodes: int, procs: int = 16) -> float:
+    program = get_program(name)
+    return reference_time(program, procs, SPEC) / predict_exclusive_time(
+        program, procs, n_nodes, SPEC
+    )
+
+
+def ways90(name: str, procs: int = 16) -> int:
+    program = get_program(name)
+    t_full = predict_exclusive_time(program, procs, 1, SPEC, ways=SPEC.llc_ways)
+    for w in range(1, SPEC.llc_ways + 1):
+        if t_full / predict_exclusive_time(program, procs, 1, SPEC, ways=w) >= 0.9:
+            return w
+    return SPEC.llc_ways
+
+
+class TestCatalogBasics:
+    def test_twelve_programs(self):
+        assert len(PROGRAMS) == 12
+
+    def test_names_match_paper(self):
+        assert set(program_names()) == {
+            "WC", "TS", "NW", "GAN", "RNN", "MG", "CG", "EP", "LU",
+            "BFS", "HC", "BW",
+        }
+
+    def test_unknown_program_raises(self):
+        with pytest.raises(UnknownProgramError):
+            get_program("NOPE")
+
+    def test_fig13_excludes_single_node_programs(self):
+        assert "GAN" not in FIG13_PROGRAMS
+        assert "RNN" not in FIG13_PROGRAMS
+        assert len(FIG13_PROGRAMS) == 10
+
+    def test_tensorflow_programs_single_node(self):
+        assert get_program("GAN").max_nodes == 1
+        assert get_program("RNN").max_nodes == 1
+
+    def test_solo_times_in_paper_range(self):
+        # Section 6.1: inputs sized for 50..1200 s runs.
+        for program in PROGRAMS.values():
+            assert 50.0 <= program.solo_time_16p <= 1200.0, program.name
+
+
+class TestScalingClasses:
+    """Fig 13: 5 scaling, 1 compact, 4 neutral (among multi-node programs)."""
+
+    @pytest.mark.parametrize("name", [
+        n for n, c in SCALING_CLASS_EXPECTED.items() if c == "scaling"
+    ])
+    def test_scaling_programs_gain(self, name):
+        best = max(speedup(name, n) for n in (2, 4, 8))
+        assert best > 1.05, f"{name} best speedup {best:.3f}"
+
+    @pytest.mark.parametrize("name", [
+        n for n, c in SCALING_CLASS_EXPECTED.items() if c == "neutral"
+    ])
+    def test_neutral_programs_flat(self, name):
+        for n in (2, 4, 8):
+            s = speedup(name, n)
+            assert abs(s - 1.0) <= 0.05, f"{name} at {n} nodes: {s:.3f}"
+
+    def test_bfs_is_compact(self):
+        for n in (2, 4, 8):
+            assert speedup("BFS", n) < 1.0
+        assert speedup("BFS", 8) < 0.8  # clearly degrading, Fig 2
+
+    def test_cg_peaks_at_two_nodes(self):
+        s2, s4, s8 = (speedup("CG", n) for n in (2, 4, 8))
+        assert s2 > 1.05          # paper: +13 % at 2x
+        assert s2 > s4 > s8       # and decline beyond
+
+    @pytest.mark.parametrize("name", ["MG", "LU", "BW", "TS"])
+    def test_deep_scalers_stay_fast_at_eight(self, name):
+        assert speedup(name, 8) > 1.15
+
+
+class TestBandwidthTiers:
+    def test_mg_saturates_the_node(self):
+        # Paper Fig 4: 112 GB/s measured, essentially the node peak.
+        assert solo_bandwidth("MG") > 0.9 * SPEC.peak_bw
+
+    @pytest.mark.parametrize("name", ["LU", "BW"])
+    def test_bandwidth_heavy_programs(self, name):
+        assert solo_bandwidth(name) > 0.75 * SPEC.peak_bw
+
+    def test_cg_mid_tier(self):
+        assert 25.0 < solo_bandwidth("CG") < 60.0  # paper: 42.9
+
+    @pytest.mark.parametrize("name", ["EP", "HC", "WC", "BFS"])
+    def test_light_programs(self, name):
+        assert solo_bandwidth(name) < 12.0
+
+    def test_ep_is_nearly_zero(self):
+        assert solo_bandwidth("EP") < 0.5  # paper: 0.09
+
+    def test_mg_two_node_bandwidth_matches_fig4(self):
+        # Paper: each node draws ~67.6 GB/s when MG runs on two nodes.
+        program = get_program("MG")
+        cap = SPEC.cache.ways_to_mb(20.0) / 8
+        demand = program.demand_gbps_per_proc(cap, 2) * 8
+        per_node = min(demand, SPEC.bandwidth.aggregate(8))
+        assert per_node == pytest.approx(67.6, rel=0.15)
+
+
+class TestCacheSensitivity:
+    """Fig 12 ways-for-90 % bands."""
+
+    @pytest.mark.parametrize("name,band", [
+        ("EP", (1, 2)), ("HC", (1, 3)), ("WC", (1, 4)), ("MG", (2, 4)),
+        ("LU", (3, 6)), ("BW", (3, 6)), ("GAN", (3, 7)), ("RNN", (3, 6)),
+        ("CG", (8, 12)), ("TS", (9, 14)), ("NW", (12, 18)), ("BFS", (12, 18)),
+    ])
+    def test_ways90_bands(self, name, band):
+        w = ways90(name)
+        assert band[0] <= w <= band[1], f"{name}: ways90={w}, band={band}"
+
+    def test_bfs_miss_rate_rises_when_spread(self):
+        # Fig 5: BFS's LLC miss rate increases with the footprint.
+        program = get_program("BFS")
+        cap16 = SPEC.cache.ways_to_mb(20.0) / 16
+        cap2 = SPEC.cache.ways_to_mb(20.0) / 2
+        assert program.miss_rate_percent(cap2, 8) > program.miss_rate_percent(
+            cap16, 1
+        )
+
+    def test_mg_cg_miss_rates_drop_when_spread(self):
+        for name in ("MG", "CG"):
+            program = get_program(name)
+            cap16 = SPEC.cache.ways_to_mb(20.0) / 16
+            cap2 = SPEC.cache.ways_to_mb(20.0) / 2
+            assert program.miss_rate_percent(
+                cap2, 8
+            ) < program.miss_rate_percent(cap16, 1), name
+
+
+class TestStream:
+    def test_stream_is_pure_streaming(self):
+        stream = stream_program()
+        assert stream.miss_curve.floor == 1.0
+
+    def test_stream_demand_near_core_peak(self):
+        stream = stream_program()
+        demand = stream.demand_gbps_per_proc(70.0, 1)
+        assert demand == pytest.approx(SPEC.bandwidth.core_peak, rel=0.05)

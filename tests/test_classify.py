@@ -1,0 +1,62 @@
+"""Program classification (paper Section 4.2)."""
+
+import pytest
+
+from repro.errors import ProfileError
+from repro.profiling.classify import ScalingClass, classify, ideal_scale
+
+
+class TestClassify:
+    def test_clear_scaling(self):
+        times = {1: 100.0, 2: 80.0, 4: 70.0, 8: 65.0}
+        assert classify(times) is ScalingClass.SCALING
+
+    def test_clear_compact(self):
+        times = {1: 100.0, 2: 115.0, 4: 140.0, 8: 190.0}
+        assert classify(times) is ScalingClass.COMPACT
+
+    def test_neutral_within_five_percent(self):
+        times = {1: 100.0, 2: 98.0, 4: 102.0, 8: 104.0}
+        assert classify(times) is ScalingClass.NEUTRAL
+
+    def test_boundary_slowdown_within_band_is_neutral(self):
+        # A 5 % slowdown (speedup 0.952) sits inside the neutral band.
+        times = {1: 100.0, 2: 105.0}
+        assert classify(times) is ScalingClass.NEUTRAL
+
+    def test_just_past_band_is_compact(self):
+        times = {1: 100.0, 2: 106.0}
+        assert classify(times) is ScalingClass.COMPACT
+
+    def test_mixed_gain_wins_over_loss(self):
+        # One scale clearly gains: scaling, even if another degrades.
+        times = {1: 100.0, 2: 80.0, 4: 130.0}
+        assert classify(times) is ScalingClass.SCALING
+
+    def test_single_scale_is_neutral(self):
+        assert classify({1: 100.0}) is ScalingClass.NEUTRAL
+
+    def test_custom_threshold(self):
+        times = {1: 100.0, 2: 92.0}
+        assert classify(times, threshold=0.10) is ScalingClass.NEUTRAL
+        assert classify(times, threshold=0.05) is ScalingClass.SCALING
+
+    def test_requires_baseline(self):
+        with pytest.raises(ProfileError):
+            classify({2: 80.0})
+
+    def test_rejects_nonpositive_times(self):
+        with pytest.raises(ProfileError):
+            classify({1: 0.0, 2: 10.0})
+
+
+class TestIdealScale:
+    def test_fastest_scale_wins(self):
+        assert ideal_scale({1: 100.0, 2: 80.0, 4: 85.0}) == 2
+
+    def test_tie_goes_to_smaller_footprint(self):
+        assert ideal_scale({1: 100.0, 2: 100.0, 4: 100.0}) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ProfileError):
+            ideal_scale({})

@@ -1,0 +1,51 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestList:
+    def test_lists_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("fig1", "fig13", "fig20"):
+            assert exp in out
+
+
+class TestRun:
+    @pytest.mark.parametrize("exp", ["fig2", "fig3", "fig5", "fig6", "fig7"])
+    def test_runs_fast_experiments(self, exp, capsys):
+        assert main(["run", exp]) == 0
+        assert capsys.readouterr().out.strip()
+
+    def test_unknown_experiment_fails_cleanly(self, capsys):
+        assert main(["run", "fig99"]) == 1
+        assert "unknown experiment" in capsys.readouterr().err
+
+
+class TestProfile:
+    def test_profiles_program(self, capsys):
+        assert main(["profile", "CG"]) == 0
+        out = capsys.readouterr().out
+        assert "class=scaling" in out
+        assert "ideal scale=2x" in out
+
+    def test_rejects_unknown_program(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "NOPE"])
+
+
+class TestSimulate:
+    @pytest.mark.parametrize("policy", ["CE", "CS", "SNS"])
+    def test_simulates_each_policy(self, policy, capsys):
+        assert main(["simulate", "--policy", policy, "--jobs", "6",
+                     "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert out.count("job ") == 6
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0

@@ -1,0 +1,42 @@
+"""CLI extras: quick mode and extension experiments."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestQuickMode:
+    def test_quick_runs_reduced_fig14(self, capsys):
+        assert main(["run", "fig14", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "mean gain over CE" in out
+        # The reduced configuration runs 12 sequences, not 36.
+        assert out.count("\n") < 60
+
+    def test_quick_on_fast_experiment_notes_and_runs(self, capsys):
+        assert main(["run", "fig3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "no reduced mode" in out
+        assert "saturation" in out
+
+
+class TestExtensionExperiments:
+    def test_online_via_cli(self, capsys):
+        assert main(["run", "online"]) == 0
+        out = capsys.readouterr().out
+        assert "converged" in out
+
+    def test_ablations_via_cli(self, capsys):
+        assert main(["run", "ablations"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "mba" in out
+
+    def test_fragmentation_via_cli(self, capsys):
+        assert main(["run", "fragmentation"]) == 0
+        assert "idle-while-queued" in capsys.readouterr().out
+
+    def test_list_includes_extensions(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for exp in ("online", "ablations", "baselines", "fragmentation"):
+            assert exp in out

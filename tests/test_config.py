@@ -1,0 +1,82 @@
+"""Configuration validation."""
+
+import pytest
+
+from repro.config import SchedulerConfig, SimConfig
+from repro.errors import ConfigError
+
+
+class TestSchedulerConfig:
+    def test_paper_defaults(self):
+        config = SchedulerConfig()
+        assert config.default_alpha == 0.9       # Section 4.3
+        assert config.beta == 2.0                # Section 4.4
+        assert config.candidate_scales == (1, 2, 4, 8)  # Section 5.1
+        assert config.min_ways == 2              # Section 5.1
+
+    @pytest.mark.parametrize("kwargs", [
+        {"default_alpha": 0.0},
+        {"default_alpha": 1.5},
+        {"beta": -1.0},
+        {"candidate_scales": ()},
+        {"candidate_scales": (0, 1)},
+        {"candidate_scales": (4, 2, 1)},
+        {"age_limit": 0},
+        {"min_ways": 0},
+        {"bw_headroom": 0.0},
+        {"bw_headroom": 1.5},
+        {"max_queue_scan": 0},
+        {"scale_tolerance": -0.1},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            SchedulerConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            SchedulerConfig().beta = 3.0
+
+
+class TestSimConfig:
+    def test_defaults(self):
+        config = SimConfig()
+        assert config.episode_seconds == 30.0  # Fig 17 episodes
+        assert config.telemetry
+
+    @pytest.mark.parametrize("kwargs", [
+        {"episode_seconds": 0.0},
+        {"max_sim_time": 0.0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            SimConfig(**kwargs)
+
+
+class TestPackageSurface:
+    def test_public_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_registry_covers_all_sixteen_figures(self):
+        from repro.experiments.registry import EXPERIMENTS
+
+        expected = {
+            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+            "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
+            "fig18", "fig19", "fig20",
+        }
+        assert expected <= set(EXPERIMENTS)
+
+    def test_registry_unknown_id(self):
+        from repro.errors import ReproError
+        from repro.experiments.registry import get_experiment
+
+        with pytest.raises(ReproError):
+            get_experiment("fig8")

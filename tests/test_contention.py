@@ -1,0 +1,106 @@
+"""Node-level bandwidth arbitration."""
+
+import pytest
+
+from repro.apps.catalog import get_program
+from repro.errors import HardwareModelError
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.contention import Slice, arbitrate_node, node_bandwidth_usage
+
+SPEC = NodeSpec()
+
+
+def mg_slice(job_id=1, procs=16, ways=20.0, n_nodes=1) -> Slice:
+    return Slice(job_id, get_program("MG"), procs, ways, n_nodes)
+
+
+def ep_slice(job_id=2, procs=8, ways=20.0) -> Slice:
+    return Slice(job_id, get_program("EP"), procs, ways)
+
+
+class TestSlice:
+    def test_capacity_split_by_procs(self):
+        s = mg_slice(procs=16, ways=20.0)
+        assert s.capacity_per_proc_mb(SPEC) == pytest.approx(70.0 / 16)
+
+    def test_demand_scales_with_procs(self):
+        d8 = mg_slice(procs=8).demand_gbps(SPEC)
+        d16 = mg_slice(procs=16).demand_gbps(SPEC)
+        # Not exactly 2x (cache per process halves), but close.
+        assert d16 > 1.8 * d8
+
+    @pytest.mark.parametrize("kwargs", [
+        {"procs": 0}, {"effective_ways": 0.0}, {"n_nodes": 0},
+    ])
+    def test_validation(self, kwargs):
+        defaults = dict(job_id=1, program=get_program("EP"), procs=4,
+                        effective_ways=10.0, n_nodes=1)
+        defaults.update(kwargs)
+        with pytest.raises(HardwareModelError):
+            Slice(**defaults)
+
+
+class TestArbitration:
+    def test_empty_node(self):
+        assert arbitrate_node(SPEC, []) == {}
+
+    def test_uncontended_gets_full_demand(self):
+        s = ep_slice()
+        grants = arbitrate_node(SPEC, [s])
+        assert grants[2] == pytest.approx(s.demand_gbps(SPEC))
+
+    def test_saturated_node_clipped_to_supply(self):
+        s = mg_slice(procs=16)
+        grants = arbitrate_node(SPEC, [s])
+        assert grants[1] == pytest.approx(SPEC.bandwidth.aggregate(16))
+        assert grants[1] < s.demand_gbps(SPEC)
+
+    def test_proportional_share_under_contention(self):
+        a = mg_slice(job_id=1, procs=14, ways=10.0)
+        b = mg_slice(job_id=2, procs=14, ways=10.0)
+        grants = arbitrate_node(SPEC, [a, b])
+        assert grants[1] == pytest.approx(grants[2])
+        total = grants[1] + grants[2]
+        assert total == pytest.approx(SPEC.bandwidth.aggregate(28))
+
+    def test_proportional_fairness_across_job_sizes(self):
+        heavy = mg_slice(job_id=1, procs=20, ways=16.0)
+        light = ep_slice(job_id=2, procs=8, ways=4.0)
+        grants = arbitrate_node(SPEC, [heavy, light])
+        # Both jobs are cut by the same fraction; the light job's
+        # *absolute* loss is negligible next to the heavy one's.
+        frac_heavy = grants[1] / heavy.demand_gbps(SPEC)
+        frac_light = grants[2] / light.demand_gbps(SPEC)
+        assert frac_heavy == pytest.approx(frac_light)
+        loss_light = light.demand_gbps(SPEC) - grants[2]
+        loss_heavy = heavy.demand_gbps(SPEC) - grants[1]
+        assert loss_light < 0.01 * loss_heavy
+
+    def test_grants_never_exceed_demands(self):
+        slices = [mg_slice(job_id=1, procs=10, ways=10.0),
+                  ep_slice(job_id=2, procs=10, ways=10.0)]
+        grants = arbitrate_node(SPEC, slices)
+        for s in slices:
+            assert grants[s.job_id] <= s.demand_gbps(SPEC) + 1e-9
+
+    def test_core_oversubscription_rejected(self):
+        with pytest.raises(HardwareModelError):
+            arbitrate_node(SPEC, [mg_slice(procs=16), mg_slice(job_id=2, procs=16)])
+
+    def test_duplicate_job_rejected(self):
+        with pytest.raises(HardwareModelError):
+            arbitrate_node(SPEC, [ep_slice(job_id=1), ep_slice(job_id=1)])
+
+
+class TestNodeUsage:
+    def test_usage_is_sum_of_grants(self):
+        slices = [mg_slice(job_id=1, procs=12, ways=12.0),
+                  ep_slice(job_id=2, procs=8, ways=8.0)]
+        usage = node_bandwidth_usage(SPEC, slices)
+        grants = arbitrate_node(SPEC, slices)
+        assert usage == pytest.approx(sum(grants.values()))
+
+    def test_usage_bounded_by_saturation(self):
+        slices = [mg_slice(job_id=1, procs=14, ways=10.0),
+                  mg_slice(job_id=2, procs=14, ways=10.0)]
+        assert node_bandwidth_usage(SPEC, slices) <= SPEC.peak_bw + 1e-9

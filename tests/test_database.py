@@ -1,0 +1,102 @@
+"""Profile database: storage, JSON persistence, lazy profiling."""
+
+import pytest
+
+from repro.apps.catalog import PROGRAMS, get_program
+from repro.errors import ProfileError
+from repro.hardware.node_spec import NodeSpec
+from repro.profiling.database import ProfileDatabase
+from repro.profiling.profiler import profile_program
+
+SPEC = NodeSpec()
+
+
+@pytest.fixture
+def db() -> ProfileDatabase:
+    database = ProfileDatabase()
+    database.put(16, profile_program(get_program("CG"), 16, SPEC, 8))
+    return database
+
+
+class TestAccess:
+    def test_put_get(self, db):
+        profile = db.get("CG", 16)
+        assert profile.name == "CG"
+
+    def test_has(self, db):
+        assert db.has("CG", 16)
+        assert not db.has("CG", 28)
+        assert not db.has("MG", 16)
+
+    def test_missing_raises(self, db):
+        with pytest.raises(ProfileError):
+            db.get("MG", 16)
+
+    def test_len_and_keys(self, db):
+        assert len(db) == 1
+        assert list(db.keys()) == [("CG", 16)]
+
+
+class TestPersistence:
+    def test_roundtrip(self, db, tmp_path):
+        path = tmp_path / "profiles.json"
+        db.save(path)
+        loaded = ProfileDatabase.load(path)
+        orig = db.get("CG", 16)
+        back = loaded.get("CG", 16)
+        assert set(back.scales) == set(orig.scales)
+        for k in orig.scales:
+            assert back.get(k).time_s == pytest.approx(orig.get(k).time_s)
+            assert back.get(k).ipc_llc(10.0) == pytest.approx(
+                orig.get(k).ipc_llc(10.0)
+            )
+            assert back.get(k).bw_llc(10.0) == pytest.approx(
+                orig.get(k).bw_llc(10.0)
+            )
+
+    def test_roundtrip_preserves_classification(self, db, tmp_path):
+        path = tmp_path / "profiles.json"
+        db.save(path)
+        loaded = ProfileDatabase.load(path)
+        assert (
+            loaded.get("CG", 16).scaling_class
+            is db.get("CG", 16).scaling_class
+        )
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ProfileError):
+            ProfileDatabase.load(tmp_path / "nope.json")
+
+    def test_load_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ProfileError):
+            ProfileDatabase.load(path)
+
+    def test_load_malformed_key(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"noprocs": {"procs": 16, "scales": {}}}')
+        with pytest.raises(ProfileError):
+            ProfileDatabase.load(path)
+
+
+class TestLazyProfiling:
+    def test_get_or_profile_fills_miss(self):
+        db = ProfileDatabase()
+        profile = db.get_or_profile(get_program("EP"), 16, SPEC, 8)
+        assert profile.name == "EP"
+        assert db.has("EP", 16)
+
+    def test_get_or_profile_reuses_hit(self, db):
+        before = db.get("CG", 16)
+        after = db.get_or_profile(get_program("CG"), 16, SPEC, 8)
+        assert after is before
+
+    def test_build_covers_all_combinations(self):
+        db = ProfileDatabase.build(
+            [get_program("EP"), get_program("WC")], (16, 28), SPEC, 8
+        )
+        assert len(db) == 4
+        for name in ("EP", "WC"):
+            for procs in (16, 28):
+                assert db.has(name, procs)

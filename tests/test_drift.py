@@ -1,0 +1,116 @@
+"""Re-profiling drift detection (paper Section 5.2)."""
+
+import pytest
+
+from repro.apps.catalog import get_program
+from repro.errors import ProfileError
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.execution import NodeConditions
+from repro.profiling.drift import DriftDetector
+from repro.profiling.pmu import read_pmu
+
+SPEC = NodeSpec()
+
+
+@pytest.fixture
+def detector() -> DriftDetector:
+    return DriftDetector(threshold=0.25, patience=3)
+
+
+class TestBasics:
+    def test_first_observation_sets_reference(self, detector):
+        assert not detector.observe("CG", 16, ipc=1.0, bandwidth=40.0)
+        assert detector.reference("CG", 16) == (1.0, 40.0)
+
+    def test_stable_readings_never_flag(self, detector):
+        for _ in range(50):
+            assert not detector.observe("CG", 16, 1.0, 40.0)
+        assert not detector.needs_reprofile("CG", 16)
+
+    def test_small_noise_tolerated(self, detector):
+        detector.observe("CG", 16, 1.0, 40.0)
+        for delta in (0.05, -0.08, 0.1, -0.02) * 5:
+            detector.observe("CG", 16, 1.0 + delta, 40.0 * (1 + delta))
+        assert not detector.needs_reprofile("CG", 16)
+
+    def test_persistent_shift_flags(self, detector):
+        detector.observe("CG", 16, 1.0, 40.0)
+        flagged = [detector.observe("CG", 16, 0.5, 40.0) for _ in range(3)]
+        assert flagged == [False, False, True]
+        assert detector.needs_reprofile("CG", 16)
+
+    def test_bandwidth_shift_alone_flags(self, detector):
+        detector.observe("MG", 16, 2.0, 110.0)
+        for _ in range(3):
+            detector.observe("MG", 16, 2.0, 30.0)
+        assert detector.needs_reprofile("MG", 16)
+
+    def test_transient_spike_recovers(self, detector):
+        detector.observe("CG", 16, 1.0, 40.0)
+        detector.observe("CG", 16, 0.4, 40.0)   # one bad reading
+        detector.observe("CG", 16, 0.4, 40.0)   # two
+        detector.observe("CG", 16, 1.0, 40.0)   # back to normal
+        for _ in range(2):
+            detector.observe("CG", 16, 0.4, 40.0)
+        # The counter reset: still not flagged after only two more.
+        assert not detector.needs_reprofile("CG", 16)
+
+    def test_reset_clears_flag(self, detector):
+        detector.observe("CG", 16, 1.0, 40.0)
+        for _ in range(3):
+            detector.observe("CG", 16, 0.5, 40.0)
+        detector.reset("CG", 16)
+        assert not detector.needs_reprofile("CG", 16)
+        assert detector.reference("CG", 16) is None
+
+    def test_programs_tracked_independently(self, detector):
+        detector.observe("CG", 16, 1.0, 40.0)
+        detector.observe("EP", 16, 2.0, 0.1)
+        for _ in range(3):
+            detector.observe("CG", 16, 0.5, 40.0)
+        assert detector.needs_reprofile("CG", 16)
+        assert not detector.needs_reprofile("EP", 16)
+
+    def test_reference_adapts_slowly(self, detector):
+        detector.observe("CG", 16, 1.0, 40.0)
+        detector.observe("CG", 16, 1.1, 44.0)
+        ipc, bw = detector.reference("CG", 16)
+        assert 1.0 < ipc < 1.1
+        assert 40.0 < bw < 44.0
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"threshold": 0.0}, {"patience": 0}, {"smoothing": 0.0},
+        {"smoothing": 1.5},
+    ])
+    def test_bad_params(self, kwargs):
+        with pytest.raises(ProfileError):
+            DriftDetector(**kwargs)
+
+    def test_negative_observation_rejected(self, detector):
+        with pytest.raises(ProfileError):
+            detector.observe("CG", 16, -1.0, 0.0)
+
+
+class TestEndToEnd:
+    def test_code_change_detected_via_pmu(self, detector):
+        """A program whose cache behaviour changed (e.g. a re-design
+        doubling its working set) drifts out of its PMU envelope."""
+        original = get_program("CG")
+        modified = original.with_overrides(mpki_max=original.mpki_max * 2)
+
+        def observe(program):
+            cap = SPEC.cache.ways_to_mb(20.0) / 16
+            demand = program.demand_gbps_per_proc(cap, 1) * 16
+            granted = min(demand, SPEC.bandwidth.aggregate(16))
+            sample = read_pmu(program, NodeConditions(16, cap, granted), 1)
+            return detector.observe(
+                "CG", 16, sample.ipc(), sample.bandwidth_gbps()
+            )
+
+        for _ in range(5):
+            assert not observe(original)
+        flags = [observe(modified) for _ in range(4)]
+        assert any(flags)
+        assert detector.needs_reprofile("CG", 16)

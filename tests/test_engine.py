@@ -1,0 +1,90 @@
+"""Discrete-event queue with lazy cancellation."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import EventKind, EventQueue
+
+
+class TestOrdering:
+    def test_pops_in_time_order(self):
+        q = EventQueue()
+        q.push_submit(5.0, 1)
+        q.push_submit(1.0, 2)
+        q.push_submit(3.0, 3)
+        assert [q.pop().job_id for _ in range(3)] == [2, 3, 1]
+
+    def test_finish_before_submit_at_same_time(self):
+        q = EventQueue()
+        q.push_submit(1.0, 1)
+        q.push_finish(1.0, 2)
+        assert q.pop().kind is EventKind.JOB_FINISH
+        assert q.pop().kind is EventKind.JOB_SUBMIT
+
+    def test_clock_advances(self):
+        q = EventQueue()
+        q.push_submit(2.5, 1)
+        q.pop()
+        assert q.now == 2.5
+
+    def test_drained_queue_returns_none(self):
+        q = EventQueue()
+        assert q.pop() is None
+
+    def test_len_counts_heap_entries(self):
+        q = EventQueue()
+        q.push_submit(1.0, 1)
+        q.push_submit(2.0, 2)
+        assert len(q) == 2
+
+
+class TestLazyCancellation:
+    def test_reschedule_invalidates_old_finish(self):
+        q = EventQueue()
+        q.push_finish(10.0, 1)
+        q.push_finish(5.0, 1)  # reschedule earlier
+        ev = q.pop()
+        assert ev.time == 5.0
+        assert q.pop() is None  # the 10.0 event is stale
+
+    def test_cancel_finish(self):
+        q = EventQueue()
+        q.push_finish(3.0, 1)
+        q.cancel_finish(1)
+        assert q.pop() is None
+
+    def test_cancel_only_affects_target_job(self):
+        q = EventQueue()
+        q.push_finish(1.0, 1)
+        q.push_finish(2.0, 2)
+        q.cancel_finish(1)
+        ev = q.pop()
+        assert ev.job_id == 2
+
+    def test_peek_skips_stale(self):
+        q = EventQueue()
+        q.push_finish(1.0, 1)
+        q.push_finish(4.0, 1)
+        q.push_submit(2.0, 2)
+        assert q.peek_time() == 2.0
+
+    def test_peek_empty(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestValidation:
+    def test_rejects_past_events(self):
+        q = EventQueue()
+        q.push_submit(10.0, 1)
+        q.pop()
+        with pytest.raises(SimulationError):
+            q.push_submit(5.0, 2)
+        with pytest.raises(SimulationError):
+            q.push_finish(5.0, 2)
+
+    def test_same_time_event_allowed(self):
+        q = EventQueue()
+        q.push_submit(10.0, 1)
+        q.pop()
+        q.push_finish(10.0, 2)  # must not raise
+        assert q.pop().job_id == 2

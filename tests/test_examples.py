@@ -1,0 +1,47 @@
+"""The example scripts must run end-to-end (they are the documented
+entry points for new users)."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: float = 120.0) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "3")
+        assert "SNS throughput gain over CE" in out
+        assert "SNS schedule:" in out
+
+    def test_profile_and_classify(self, tmp_path):
+        out = run_example("profile_and_classify.py",
+                          str(tmp_path / "profiles.json"))
+        assert "JSON round-trip verified" in out
+        assert "scaling" in out and "compact" in out and "neutral" in out
+
+    def test_mixed_frameworks(self):
+        out = run_example("mixed_frameworks.py")
+        assert "=== CE" in out and "=== SNS" in out
+        assert "tensorflow" in out and "spark" in out and "mpi" in out
+
+    def test_qos_thresholds(self):
+        out = run_example("qos_slowdown_threshold.py")
+        assert "alpha=0.90" in out
+        assert "MBA" in out
+
+    def test_large_cluster_trace_reduced(self):
+        out = run_example("large_cluster_trace.py", "80", timeout=300.0)
+        assert "SNS gain" in out
+        assert "4K" in out

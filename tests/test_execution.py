@@ -1,0 +1,132 @@
+"""Whole-job execution-time prediction."""
+
+import pytest
+
+from repro.apps.catalog import get_program
+from repro.errors import HardwareModelError
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.execution import (
+    NodeConditions,
+    job_speed,
+    job_time,
+    predict_exclusive_time,
+    process_rate,
+    reference_time,
+    scale_factor_of,
+)
+
+SPEC = NodeSpec()
+
+
+class TestScaleFactor:
+    @pytest.mark.parametrize("n,procs,expected", [
+        (1, 16, 1.0), (2, 16, 2.0), (8, 16, 8.0),
+        (2, 32, 1.0), (4, 32, 2.0),
+    ])
+    def test_values(self, n, procs, expected):
+        assert scale_factor_of(n, procs, SPEC) == expected
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(HardwareModelError):
+            scale_factor_of(1, 40, SPEC)
+
+
+class TestProcessRate:
+    def test_memory_bound_when_granted_is_small(self):
+        mg = get_program("MG")
+        cond = NodeConditions(procs=16, capacity_per_proc_mb=4.375,
+                              granted_gbps=10.0)
+        rate = process_rate(mg, cond, 1)
+        assert rate < mg.cpu_rate(4.375)
+
+    def test_cpu_bound_when_bandwidth_ample(self):
+        ep = get_program("EP")
+        cond = NodeConditions(procs=16, capacity_per_proc_mb=4.375,
+                              granted_gbps=100.0)
+        assert process_rate(ep, cond, 1) == pytest.approx(ep.cpu_rate(4.375))
+
+    def test_conditions_validation(self):
+        with pytest.raises(HardwareModelError):
+            NodeConditions(procs=0, capacity_per_proc_mb=1.0, granted_gbps=1.0)
+        with pytest.raises(HardwareModelError):
+            NodeConditions(procs=1, capacity_per_proc_mb=-1.0, granted_gbps=1.0)
+        with pytest.raises(HardwareModelError):
+            NodeConditions(procs=1, capacity_per_proc_mb=1.0, granted_gbps=-1.0)
+
+
+class TestJobTime:
+    def test_slowest_node_governs(self):
+        ep = get_program("EP")
+        fast = NodeConditions(8, 8.75, 50.0)
+        slow = NodeConditions(8, 0.05, 50.0)
+        t_balanced = job_time(ep, 16, [fast, fast], SPEC)
+        t_skewed = job_time(ep, 16, [fast, slow], SPEC)
+        assert t_skewed > t_balanced
+
+    def test_proc_sum_must_match(self):
+        ep = get_program("EP")
+        with pytest.raises(HardwareModelError):
+            job_time(ep, 16, [NodeConditions(8, 4.0, 10.0)], SPEC)
+
+    def test_max_nodes_enforced(self):
+        gan = get_program("GAN")
+        conds = [NodeConditions(8, 4.0, 10.0), NodeConditions(8, 4.0, 10.0)]
+        with pytest.raises(HardwareModelError):
+            job_time(gan, 16, conds, SPEC)
+
+    def test_empty_placement_rejected(self):
+        with pytest.raises(HardwareModelError):
+            job_time(get_program("EP"), 16, [], SPEC)
+
+
+class TestExclusivePrediction:
+    def test_reference_equals_exclusive_at_base(self):
+        for name in ("MG", "EP", "CG", "WC"):
+            program = get_program(name)
+            assert predict_exclusive_time(program, 16, 1, SPEC) == pytest.approx(
+                reference_time(program, 16, SPEC)
+            ), name
+
+    def test_reduced_ways_never_faster(self):
+        cg = get_program("CG")
+        t_full = predict_exclusive_time(cg, 16, 1, SPEC, ways=20)
+        for w in (2, 5, 10, 15):
+            assert predict_exclusive_time(cg, 16, 1, SPEC, ways=w) >= t_full
+
+    def test_uneven_split_uses_most_loaded_node(self):
+        # 28 processes on 8 nodes -> 4+4+4+4+3+3+3+3: slower than a
+        # hypothetical even split with the same per-node cache.
+        wc = get_program("WC")
+        t = predict_exclusive_time(wc, 28, 8, SPEC)
+        assert t > 0
+
+    def test_invalid_inputs(self):
+        ep = get_program("EP")
+        with pytest.raises(HardwareModelError):
+            predict_exclusive_time(ep, 16, 0, SPEC)
+        with pytest.raises(HardwareModelError):
+            predict_exclusive_time(ep, 4, 8, SPEC)
+        with pytest.raises(HardwareModelError):
+            predict_exclusive_time(ep, 16, 1, SPEC, ways=0)
+
+    def test_wide_job_prediction_is_cheap(self):
+        # The distinct-split fast path must handle trace-scale widths.
+        lu = get_program("LU")
+        t = predict_exclusive_time(lu, 28 * 4096, 4096, SPEC)
+        assert t > 0
+
+
+class TestJobSpeed:
+    def test_ce_conditions_speed_is_one(self):
+        mg = get_program("MG")
+        cap = SPEC.cache.ways_to_mb(20.0) / 16
+        demand = mg.demand_gbps_per_proc(cap, 1) * 16
+        granted = min(demand, SPEC.bandwidth.aggregate(16))
+        cond = NodeConditions(16, cap, granted)
+        assert job_speed(mg, 16, [cond], SPEC) == pytest.approx(1.0)
+
+    def test_throttled_bandwidth_slows_job(self):
+        mg = get_program("MG")
+        cap = SPEC.cache.ways_to_mb(20.0) / 16
+        cond = NodeConditions(16, cap, 30.0)  # far below solo grant
+        assert job_speed(mg, 16, [cond], SPEC) < 0.5

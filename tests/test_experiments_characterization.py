@@ -1,0 +1,231 @@
+"""Characterization experiments (Figs 1-7, 12, 13): the reproduced
+numbers must match the paper's qualitative findings."""
+
+import pytest
+
+from repro.experiments.fig01_motivating import format_fig01, run_fig01
+from repro.experiments.fig02_scaling import format_fig02, run_fig02
+from repro.experiments.fig03_stream import format_fig03, run_fig03
+from repro.experiments.fig04_bandwidth import format_fig04, run_fig04
+from repro.experiments.fig05_missrate import format_fig05, run_fig05
+from repro.experiments.fig06_cache_sensitivity import format_fig06, run_fig06
+from repro.experiments.fig07_comm_breakdown import format_fig07, run_fig07
+from repro.experiments.fig12_profiles import format_fig12, run_fig12
+from repro.experiments.fig13_scaleout import format_fig13, run_fig13
+from repro.profiling.classify import ScalingClass
+
+
+class TestFig01:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig01()
+
+    def test_sns_saves_node_seconds(self, result):
+        saved = 1.0 - result.node_seconds["SNS"] / result.node_seconds["CE"]
+        assert saved > 0.20  # paper: 34.58 %
+
+    def test_makespan_penalty_small(self, result):
+        penalty = result.makespan["SNS"] / result.makespan["CE"] - 1.0
+        assert penalty < 0.15  # paper: +2.62 %
+
+    def test_mg_and_ts_speed_up_under_sns(self, result):
+        for prog in ("MG", "TS"):
+            assert (
+                result.program_time["SNS"][prog]
+                < result.program_time["CE"][prog]
+            ), prog
+
+    def test_hc_sees_minor_loss(self, result):
+        ratio = (
+            result.program_time["SNS"]["HC"]
+            / result.program_time["CE"]["HC"]
+        )
+        assert ratio < 1.15  # paper: +3.75 %
+
+    def test_format(self, result):
+        out = format_fig01(result)
+        assert "node-seconds saved" in out
+
+
+class TestFig02:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig02()
+
+    def test_mg_benefits_most(self, result):
+        best = {p: max(s.values()) for p, s in result.speedup.items()}
+        assert best["MG"] == max(best.values())
+
+    def test_bfs_best_on_single_node(self, result):
+        assert all(s <= 1.0 for s in result.speedup["BFS"].values())
+
+    def test_ep_flat(self, result):
+        for s in result.speedup["EP"].values():
+            assert s == pytest.approx(1.0, abs=0.05)
+
+    def test_format(self, result):
+        assert "1N16C" in format_fig02(result)
+
+
+class TestFig03:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig03()
+
+    def test_all_paper_numbers(self, result):
+        assert result.aggregate[1] == pytest.approx(18.8, rel=0.02)
+        assert result.aggregate[2] == pytest.approx(37.17, rel=0.05)
+        assert result.aggregate[28] == pytest.approx(118.26, rel=0.01)
+        assert result.per_core[28] == pytest.approx(4.22, rel=0.02)
+        assert 6 <= result.saturation_cores <= 10
+
+    def test_format(self, result):
+        assert "saturation" in format_fig03(result)
+
+
+class TestFig04:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig04()
+
+    def test_mg_solo_near_peak(self, result):
+        assert result.bandwidth["MG"][1] > 105.0  # paper: 112 GB/s
+
+    def test_mg_two_nodes_around_67(self, result):
+        assert result.bandwidth["MG"][2] == pytest.approx(67.6, rel=0.15)
+
+    def test_bfs_bandwidth_rises_when_leaving_the_node(self, result):
+        # Fig 4: BFS draws more DRAM bandwidth once communication-related
+        # accesses appear (most visible at the 2-node split).
+        bw = result.bandwidth["BFS"]
+        assert bw[2] > bw[1]
+
+    def test_ep_negligible(self, result):
+        assert result.bandwidth["EP"][1] < 0.5
+
+    def test_format(self, result):
+        assert "program" in format_fig04(result)
+
+
+class TestFig05:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig05()
+
+    def test_mg_cg_drop_when_spread(self, result):
+        for prog in ("MG", "CG"):
+            rates = result.miss_rate[prog]
+            assert rates[8] < rates[1], prog
+
+    def test_bfs_rises_when_spread(self, result):
+        rates = result.miss_rate["BFS"]
+        assert rates[8] > rates[1]
+
+    def test_ep_low_throughout(self, result):
+        assert all(r < 60.0 for r in result.miss_rate["EP"].values())
+
+    def test_format(self, result):
+        assert "%" in format_fig05(result)
+
+
+class TestFig06:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig06()
+
+    def test_ways90_ordering_matches_paper(self, result):
+        # MG ~3, CG ~10, BFS ~18 (we accept >=13), EP insensitive.
+        assert result.ways90["MG"] <= 4
+        assert 8 <= result.ways90["CG"] <= 12
+        assert result.ways90["BFS"] >= 13
+        assert result.ways90["EP"] <= 2
+
+    def test_curves_monotone(self, result):
+        for prog, curve in result.normalized_perf.items():
+            values = [curve[w] for w in sorted(curve)]
+            assert all(b >= a - 1e-9 for a, b in zip(values, values[1:])), prog
+
+    def test_full_allocation_is_unity(self, result):
+        for curve in result.normalized_perf.values():
+            assert curve[20] == pytest.approx(1.0)
+
+    def test_format(self, result):
+        assert "ways90" in format_fig06(result)
+
+
+class TestFig07:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig07()
+
+    def test_npb_comm_under_ten_percent_solo(self, result):
+        for prog in ("MG", "CG", "EP"):
+            _, comm = result.breakdown[prog][1]
+            assert comm < 0.25, prog
+        _, comm_mg = result.breakdown["MG"][1]
+        assert comm_mg < 0.10
+
+    def test_cg_comm_shrinks_when_spread(self, result):
+        assert result.breakdown["CG"][2][1] < result.breakdown["CG"][1][1]
+
+    def test_bfs_comm_grows_when_spread(self, result):
+        assert result.breakdown["BFS"][8][1] > result.breakdown["BFS"][1][1]
+
+    def test_solo_fractions_sum_to_one(self, result):
+        for prog, per in result.breakdown.items():
+            comp, comm = per[1]
+            assert comp + comm == pytest.approx(1.0), prog
+
+    def test_format(self, result):
+        assert "comp/comm" in format_fig07(result)
+
+
+class TestFig12:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig12()
+
+    def test_covers_all_twelve_programs(self, result):
+        assert len(result.ways90) == 12
+
+    def test_cache_insensitive_programs(self, result):
+        assert result.ways90["EP"] == 2
+        assert result.ways90["HC"] <= 3
+
+    def test_cache_hungry_programs(self, result):
+        assert result.ways90["CG"] >= 8
+        assert result.ways90["NW"] >= 10
+        assert result.ways90["BFS"] >= 10
+
+    def test_bandwidth_tiers(self, result):
+        assert result.bandwidth["MG"] > 80.0
+        assert result.bandwidth["EP"] < 1.0
+
+    def test_format(self, result):
+        assert "least ways" in format_fig12(result)
+
+
+class TestFig13:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_fig13()
+
+    def test_class_census_matches_paper(self, result):
+        census = {}
+        for cls in result.classification.values():
+            census[cls] = census.get(cls, 0) + 1
+        assert census[ScalingClass.SCALING] == 5
+        assert census[ScalingClass.COMPACT] == 1
+        assert census[ScalingClass.NEUTRAL] == 4
+
+    def test_cg_peaks_at_two(self, result):
+        assert result.ideal_scale["CG"] == 2
+        assert result.speedup["CG"][2] > 1.05
+
+    def test_deep_scalers(self, result):
+        for prog in ("MG", "LU", "BW", "TS"):
+            assert max(result.speedup[prog].values()) > 1.15, prog
+
+    def test_format(self, result):
+        out = format_fig13(result)
+        assert "class" in out and "scaling" in out

@@ -1,0 +1,154 @@
+"""Evaluation experiments (Figs 14-20), run at reduced size: the paper's
+qualitative findings must hold."""
+
+import pytest
+
+from repro.experiments.fig14_throughput import format_fig14, run_fig14
+from repro.experiments.fig15_relative import format_fig15, from_fig14 as fig15_from
+from repro.experiments.fig16_runtime import format_fig16, from_fig14 as fig16_from
+from repro.experiments.fig17_load_balance import format_fig17, run_fig17
+from repro.experiments.fig18_histogram import format_fig18, from_fig17 as fig18_from
+from repro.experiments.fig19_scaling_ratio import format_fig19, run_fig19
+from repro.experiments.fig20_large_cluster import (
+    format_fig20,
+    run_fig20,
+    smoke_trace_config,
+)
+
+
+@pytest.fixture(scope="module")
+def fig14():
+    # 12 sequences keep the suite fast; the benchmark harness runs 36.
+    return run_fig14(n_sequences=12, n_jobs=20)
+
+
+class TestFig14:
+    def test_sns_beats_ce_on_average(self, fig14):
+        assert fig14.mean_gain("SNS") > 0.08  # paper: +19.8 %
+
+    def test_cs_beats_ce_on_average(self, fig14):
+        assert fig14.mean_gain("CS") > 0.02   # paper: +13.7 %
+
+    def test_sns_beats_cs_on_average(self, fig14):
+        assert fig14.mean_gain("SNS") > fig14.mean_gain("CS")
+
+    def test_sns_rarely_loses_to_ce(self, fig14):
+        losses = len(fig14.outcomes) - fig14.wins("SNS", "CE")
+        assert losses <= 1  # paper: 1 of 36
+
+    def test_scaling_ratios_in_paper_band(self, fig14):
+        ratios = [o.scaling_ratio for o in fig14.outcomes]
+        assert all(0.2 <= r <= 0.9 for r in ratios)
+
+    def test_format(self, fig14):
+        out = format_fig14(fig14)
+        assert "mean gain over CE" in out
+
+
+class TestFig15:
+    def test_series_sorted_ascending(self, fig14):
+        result = fig15_from(fig14)
+        assert result.sns_over_ce == sorted(result.sns_over_ce)
+        assert result.sns_over_cs == sorted(result.sns_over_cs)
+
+    def test_sns_wins_majority_vs_cs(self, fig14):
+        result = fig15_from(fig14)
+        assert result.cs_win_fraction > 0.5  # paper: 72 %
+
+    def test_format(self, fig14):
+        assert "SNS vs CE" in format_fig15(fig15_from(fig14))
+
+
+class TestFig16:
+    def test_sns_mean_runtime_never_above_cs(self, fig14):
+        result = fig16_from(fig14)
+        for entry in result.per_sequence:
+            assert entry["SNS"]["geomean"] <= entry["CS"]["geomean"] + 0.02
+
+    def test_cs_worst_slowdowns_exceed_sns(self, fig14):
+        result = fig16_from(fig14)
+        cs_worst = max(e["CS"]["max"] for e in result.per_sequence)
+        sns_worst = max(e["SNS"]["max"] for e in result.per_sequence)
+        assert cs_worst > sns_worst  # paper: CS up to 3.5x vs SNS bounded
+
+    def test_alpha_violation_tail_is_small(self, fig14):
+        result = fig16_from(fig14)
+        v = result.alpha_violations
+        assert v.total_jobs > 0
+        # Paper: 136/720 executions (19 %) violate; ours must stay a tail.
+        assert v.violations <= 0.35 * v.total_jobs
+
+    def test_format(self, fig14):
+        assert "alpha violations" in format_fig16(fig16_from(fig14))
+
+
+class TestFig17And18:
+    @pytest.fixture(scope="class")
+    def fig17(self):
+        return run_fig17(seed=42, n_jobs=20)
+
+    def test_sns_smooths_bandwidth(self, fig17):
+        # Paper: variance 0.40 (CE) vs 0.25 (SNS).
+        assert fig17.variance["SNS"] < fig17.variance["CE"]
+
+    def test_matrix_shapes(self, fig17):
+        for matrix in fig17.matrices.values():
+            assert matrix.shape[0] == 8
+            assert matrix.shape[1] > 5
+
+    def test_histograms_cover_all_episodes(self, fig17):
+        for policy, matrix in fig17.matrices.items():
+            edges, counts = fig17.histograms[policy]
+            assert counts.sum() == matrix.size
+
+    def test_formats(self, fig17):
+        assert "variance" in format_fig17(fig17)
+        assert "bandwidth variance" in format_fig18(fig18_from(fig17))
+
+
+class TestFig19:
+    @pytest.fixture(scope="class")
+    def fig19(self):
+        return run_fig19(n_points=6, n_jobs=18)
+
+    def test_zero_ratio_converges_to_ce(self, fig19):
+        p0 = fig19.points[0]
+        assert p0.turnaround == pytest.approx(1.0, abs=0.02)
+        assert p0.run == pytest.approx(1.0, abs=0.02)
+
+    def test_run_time_improves_with_ratio(self, fig19):
+        runs = [p.run for p in fig19.points]
+        assert runs[-1] < runs[0] - 0.05
+        # Broad monotone trend: each point no worse than the previous
+        # by more than noise.
+        assert all(b <= a + 0.05 for a, b in zip(runs, runs[1:]))
+
+    def test_mid_ratios_improve_turnaround(self, fig19):
+        mids = [p for p in fig19.points if 0.3 <= p.achieved_ratio <= 0.9]
+        assert any(p.turnaround < 0.95 for p in mids)
+
+    def test_format(self, fig19):
+        assert "turnaround/CE" in format_fig19(fig19)
+
+
+class TestFig20:
+    @pytest.fixture(scope="class")
+    def fig20(self):
+        return run_fig20(
+            cluster_sizes=(4096, 8192),
+            scaling_ratios=(0.9,),
+            trace_config=smoke_trace_config(n_jobs=400, duration_hours=110),
+        )
+
+    def test_4k_cluster_is_stampeded(self, fig20):
+        p = fig20.get(4096, 0.9)
+        assert p.ce_wait > p.ce_run  # wait-dominated
+
+    def test_8k_cluster_relaxed_and_sns_wins(self, fig20):
+        p = fig20.get(8192, 0.9)
+        assert p.ce_wait < p.ce_run
+        assert p.sns_run < p.ce_run      # spreading speeds jobs up
+        assert p.sns_turnaround_gain > 0.05
+
+    def test_format(self, fig20):
+        assert "SNS gain" in format_fig20(fig20)

@@ -1,0 +1,69 @@
+"""Extension experiments: ablations and the four-way baselines."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    default_variants,
+    format_ablation,
+    run_ablation,
+)
+from repro.experiments.baselines import format_baselines, run_baselines
+
+
+class TestAblations:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_ablation(n_sequences=8, n_jobs=20)
+
+    def test_baseline_positive(self, result):
+        assert result.get("baseline").mean_gain_over_ce > 0.05
+
+    def test_residual_sharing_contributes(self, result):
+        assert (
+            result.get("no-residual-share").mean_gain_over_ce
+            < result.get("baseline").mean_gain_over_ce
+        )
+
+    def test_all_variants_present(self, result):
+        names = {o.name for o in result.outcomes}
+        assert names == {v.name for v in default_variants()}
+
+    def test_conservative_variants_reduce_violations(self, result):
+        base = result.get("baseline").alpha_violations
+        assert result.get("headroom-0.8").alpha_violations <= base
+
+    def test_unknown_variant_raises(self, result):
+        with pytest.raises(KeyError):
+            result.get("nope")
+
+    def test_format(self, result):
+        out = format_ablation(result)
+        assert "variant" in out and "baseline" in out
+
+
+class TestBaselines:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_baselines(n_sequences=8, n_jobs=20)
+
+    def test_sns_best_on_average(self, result):
+        assert result.mean_gain("SNS") == max(
+            result.mean_gain(p) for p in ("CE", "CE-BF", "CS", "SNS")
+        )
+
+    def test_sns_beats_backfill_mostly(self, result):
+        assert result.wins_over("SNS", "CE-BF") >= 5
+
+    def test_ce_is_the_unit_baseline(self, result):
+        assert all(r == pytest.approx(1.0) for r in result.relative["CE"])
+
+    def test_format(self, result):
+        out = format_baselines(result)
+        assert "CE-BF" in out and "wide-job max wait" in out
+
+    def test_paper_workload_has_no_backfill_opportunity(self):
+        """With the paper's 16/28-process jobs every CE footprint is one
+        node, so EASY backfilling degenerates to the base queue."""
+        result = run_baselines(n_sequences=4, proc_choices=(16, 28))
+        for ce, bf in zip(result.relative["CE"], result.relative["CE-BF"]):
+            assert bf == pytest.approx(ce)

@@ -1,0 +1,85 @@
+"""Fragmentation metric: idle cores while jobs queue."""
+
+import pytest
+
+from repro.apps.catalog import get_program
+from repro.config import SimConfig
+from repro.experiments.fragmentation import (
+    _queued_intervals,
+    format_fragmentation,
+    idle_while_queued_fraction,
+    run_fragmentation,
+)
+from repro.hardware.topology import ClusterSpec
+from repro.scheduling.ce import CompactExclusiveScheduler
+from repro.sim.job import Job
+from repro.sim.runtime import Simulation
+
+
+def run_ce(jobs, nodes=2):
+    cluster = ClusterSpec(num_nodes=nodes)
+    return Simulation(cluster, CompactExclusiveScheduler(cluster), jobs,
+                      SimConfig(telemetry=True)).run(), cluster
+
+
+class TestQueuedIntervals:
+    def test_no_waiting_no_intervals(self):
+        ep = get_program("EP")
+        result, _ = run_ce([Job(job_id=0, program=ep, procs=16)])
+        assert _queued_intervals(result) == []
+
+    def test_serialized_jobs_produce_interval(self):
+        ep = get_program("EP")
+        jobs = [Job(job_id=i, program=ep, procs=16) for i in range(3)]
+        result, _ = run_ce(jobs, nodes=1)
+        intervals = _queued_intervals(result)
+        assert len(intervals) == 1
+        lo, hi = intervals[0]
+        assert lo == pytest.approx(0.0)
+        # The queue drains when the last job starts.
+        assert hi == pytest.approx(max(j.start_time for j in jobs))
+
+    def test_disjoint_waits_merge_only_overlaps(self):
+        ep = get_program("EP")
+        t = 200.0  # EP solo time on the reference node
+        jobs = [
+            Job(job_id=0, program=ep, procs=16, submit_time=0.0),
+            Job(job_id=1, program=ep, procs=16, submit_time=10.0),
+            Job(job_id=2, program=ep, procs=16, submit_time=5 * t),
+            Job(job_id=3, program=ep, procs=16, submit_time=5 * t + 10.0),
+        ]
+        result, _ = run_ce(jobs, nodes=1)
+        intervals = _queued_intervals(result)
+        assert len(intervals) == 2
+
+
+class TestIdleFraction:
+    def test_zero_when_queue_never_waits(self):
+        ep = get_program("EP")
+        result, cluster = run_ce([Job(job_id=0, program=ep, procs=16)])
+        assert idle_while_queued_fraction(result, cluster) == 0.0
+
+    def test_partial_node_ce_wastes_cores_while_queued(self):
+        """16-core jobs on 28-core exclusive nodes leave 12 cores idle
+        while others queue: fraction ~ 12/28 during the wait."""
+        ep = get_program("EP")
+        jobs = [Job(job_id=i, program=ep, procs=16) for i in range(2)]
+        result, cluster = run_ce(jobs, nodes=1)
+        frac = idle_while_queued_fraction(result, cluster)
+        assert frac == pytest.approx(12 / 28, abs=0.05)
+
+
+class TestExperiment:
+    def test_sns_fragmentation_grows_with_ratio(self):
+        result = run_fragmentation(ratios=(0.3, 1.0), n_jobs=20)
+        low, high = result.points
+        assert high.sns_idle_fraction > low.sns_idle_fraction
+
+    def test_ce_full_node_jobs_never_fragment(self):
+        result = run_fragmentation(ratios=(0.9,), n_jobs=20)
+        assert result.points[0].ce_idle_fraction == pytest.approx(0.0,
+                                                                  abs=0.01)
+
+    def test_format(self):
+        result = run_fragmentation(ratios=(0.5,), n_jobs=12)
+        assert "idle-while-queued" in format_fragmentation(result)

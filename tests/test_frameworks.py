@@ -1,0 +1,61 @@
+"""Framework adapters: footprint validity rules."""
+
+import pytest
+
+from repro.apps.frameworks import Framework, framework_of
+from repro.errors import ConfigError
+
+
+class TestParsing:
+    @pytest.mark.parametrize("name,member", [
+        ("mpi", Framework.MPI),
+        ("spark", Framework.SPARK),
+        ("tensorflow", Framework.TENSORFLOW),
+        ("sequential", Framework.SEQUENTIAL),
+    ])
+    def test_framework_of(self, name, member):
+        assert framework_of(name) is member
+
+    def test_unknown_framework(self):
+        with pytest.raises(ConfigError):
+            framework_of("kubernetes")
+
+
+class TestMultiNode:
+    def test_tensorflow_is_single_node(self):
+        assert not Framework.TENSORFLOW.multi_node
+        with pytest.raises(ConfigError):
+            Framework.TENSORFLOW.validate_footprint(16, 2)
+
+    @pytest.mark.parametrize("fw", [
+        Framework.MPI, Framework.SPARK, Framework.SEQUENTIAL,
+    ])
+    def test_others_span_nodes(self, fw):
+        assert fw.multi_node
+        fw.validate_footprint(16, 2)  # must not raise
+
+
+class TestMpiSplit:
+    def test_even_split_accepted(self):
+        Framework.MPI.validate_footprint(16, 8)
+        Framework.MPI.validate_footprint(28, 4)
+
+    def test_uneven_split_rejected(self):
+        # 28 processes cannot split evenly over 8 nodes.
+        with pytest.raises(ConfigError):
+            Framework.MPI.validate_footprint(28, 8)
+
+    def test_spark_allows_uneven_split(self):
+        Framework.SPARK.validate_footprint(28, 8)
+
+
+class TestGeneralValidity:
+    def test_more_nodes_than_processes_rejected(self):
+        with pytest.raises(ConfigError):
+            Framework.SPARK.validate_footprint(4, 8)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ConfigError):
+            Framework.MPI.validate_footprint(0, 1)
+        with pytest.raises(ConfigError):
+            Framework.MPI.validate_footprint(8, 0)

@@ -1,0 +1,88 @@
+"""Memory-bandwidth saturation model (paper Fig 3)."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.membw import BandwidthModel
+
+
+@pytest.fixture(scope="module")
+def model() -> BandwidthModel:
+    return BandwidthModel()
+
+
+class TestCalibration:
+    """The model must land near every STREAM number the paper reports."""
+
+    def test_single_core_peak(self, model):
+        assert model.aggregate(1) == pytest.approx(18.8, rel=0.02)
+
+    def test_two_cores_roughly_double(self, model):
+        assert model.aggregate(2) == pytest.approx(37.17, rel=0.05)
+
+    def test_full_node_peak(self, model):
+        assert model.aggregate(28) == pytest.approx(118.26, rel=0.01)
+
+    def test_per_core_at_full_node_dips(self, model):
+        # Paper: 4.22 GB/s, 22.45 % of single-core peak.
+        per_core = model.per_core(28)
+        assert per_core == pytest.approx(4.22, rel=0.02)
+        assert per_core / model.aggregate(1) == pytest.approx(0.2245, rel=0.03)
+
+    def test_knee_around_eight_cores(self, model):
+        assert 6 <= model.saturation_cores(0.9) <= 10
+
+
+class TestShape:
+    def test_monotone_nondecreasing(self, model):
+        values = [model.aggregate(n) for n in range(0, 29)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_per_core_monotone_declining(self, model):
+        values = [model.per_core(n) for n in range(1, 29)]
+        assert all(b <= a + 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_zero_cores_zero_bandwidth(self, model):
+        assert model.aggregate(0) == 0.0
+
+    def test_never_exceeds_peak(self, model):
+        assert model.aggregate(10_000) <= model.peak
+
+    def test_fractional_cores_accepted(self, model):
+        assert 0 < model.aggregate(0.5) < model.aggregate(1)
+
+
+class TestSupply:
+    def test_uncontended_demand_granted(self, model):
+        assert model.supply(10.0, 8) == pytest.approx(10.0)
+
+    def test_saturated_demand_clipped(self, model):
+        assert model.supply(500.0, 28) == pytest.approx(model.aggregate(28))
+
+    def test_negative_demand_rejected(self, model):
+        with pytest.raises(HardwareModelError):
+            model.supply(-1.0, 4)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_peak(self):
+        with pytest.raises(HardwareModelError):
+            BandwidthModel(peak=0.0)
+
+    def test_rejects_core_peak_above_node_peak(self):
+        with pytest.raises(HardwareModelError):
+            BandwidthModel(peak=10.0, core_peak=20.0)
+
+    def test_rejects_negative_core_count(self, model):
+        with pytest.raises(HardwareModelError):
+            model.aggregate(-1)
+
+    def test_rejects_zero_cores_per_core(self, model):
+        with pytest.raises(HardwareModelError):
+            model.per_core(0)
+
+    def test_saturation_fraction_bounds(self, model):
+        with pytest.raises(HardwareModelError):
+            model.saturation_cores(0.0)
+        with pytest.raises(HardwareModelError):
+            model.saturation_cores(1.0)

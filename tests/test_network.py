@@ -1,0 +1,54 @@
+"""Interconnect model."""
+
+import pytest
+
+from repro.errors import HardwareModelError
+from repro.hardware.network import NetworkModel
+
+
+@pytest.fixture(scope="module")
+def net() -> NetworkModel:
+    return NetworkModel()
+
+
+class TestTransferTime:
+    def test_pure_bandwidth_term(self, net):
+        t = net.transfer_time(6.8, n_messages=0)
+        assert t == pytest.approx(1.0)
+
+    def test_latency_term_additive(self, net):
+        base = net.transfer_time(1.0, n_messages=0)
+        with_msgs = net.transfer_time(1.0, n_messages=1000)
+        assert with_msgs - base == pytest.approx(1000 * 1.5e-6)
+
+    def test_zero_volume_only_latency(self, net):
+        assert net.transfer_time(0.0, 1) == pytest.approx(1.5e-6)
+
+    def test_negative_volume_rejected(self, net):
+        with pytest.raises(HardwareModelError):
+            net.transfer_time(-1.0)
+
+    def test_negative_messages_rejected(self, net):
+        with pytest.raises(HardwareModelError):
+            net.transfer_time(1.0, n_messages=-1)
+
+
+class TestRatios:
+    def test_network_memory_gap(self, net):
+        # Paper Section 2: 6.8 GB/s network vs ~118 GB/s memory.
+        ratio = net.relative_to_memory(118.26)
+        assert ratio == pytest.approx(0.0575, rel=0.01)
+
+    def test_invalid_peak_rejected(self, net):
+        with pytest.raises(HardwareModelError):
+            net.relative_to_memory(0.0)
+
+
+class TestValidation:
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(HardwareModelError):
+            NetworkModel(link_bw=0.0)
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(HardwareModelError):
+            NetworkModel(latency_us=-1.0)

@@ -1,0 +1,131 @@
+"""Runtime node state: core/way/bandwidth accounting."""
+
+import pytest
+
+from repro.apps.catalog import get_program
+from repro.errors import AllocationError
+from repro.hardware.node_spec import NodeSpec
+from repro.sim.node import NodeState
+
+SPEC = NodeSpec()
+
+
+@pytest.fixture
+def node() -> NodeState:
+    return NodeState(node_id=0, spec=SPEC, partitioned=True)
+
+
+@pytest.fixture
+def shared_node() -> NodeState:
+    return NodeState(node_id=0, spec=SPEC, partitioned=False)
+
+
+class TestAccounting:
+    def test_fresh_node_idle(self, node):
+        assert node.is_idle
+        assert node.free_cores == 28
+        assert node.free_ways == 20
+        assert node.free_bw == pytest.approx(SPEC.peak_bw)
+
+    def test_place_deducts_resources(self, node):
+        node.place(1, get_program("MG"), 8, 4, 30.0, n_nodes=2)
+        assert node.free_cores == 20
+        assert node.free_ways == 16
+        assert node.free_bw == pytest.approx(SPEC.peak_bw - 30.0)
+        assert not node.is_idle
+
+    def test_remove_restores_resources(self, node):
+        node.place(1, get_program("MG"), 8, 4, 30.0, n_nodes=2)
+        node.remove(1)
+        assert node.is_idle
+        assert node.free_ways == 20
+        assert node.free_bw == pytest.approx(SPEC.peak_bw)
+
+    def test_double_place_rejected(self, node):
+        node.place(1, get_program("EP"), 4, 2, 0.0, 1)
+        with pytest.raises(AllocationError):
+            node.place(1, get_program("EP"), 4, 2, 0.0, 1)
+
+    def test_remove_absent_rejected(self, node):
+        with pytest.raises(AllocationError):
+            node.remove(7)
+
+    def test_core_overflow_rejected(self, node):
+        node.place(1, get_program("EP"), 20, 2, 0.0, 1)
+        with pytest.raises(AllocationError):
+            node.place(2, get_program("EP"), 10, 2, 0.0, 1)
+
+
+class TestCanHost:
+    def test_fits(self, node):
+        assert node.can_host(28, 20, SPEC.peak_bw)
+
+    def test_core_bound(self, node):
+        assert not node.can_host(29, 2, 0.0)
+
+    def test_way_bound(self, node):
+        node.place(1, get_program("CG"), 8, 15, 10.0, 1)
+        assert not node.can_host(4, 6, 0.0)
+        assert node.can_host(4, 5, 0.0)
+
+    def test_bandwidth_bound(self, node):
+        node.place(1, get_program("MG"), 16, 2, 100.0, 1)
+        assert not node.can_host(4, 2, 30.0)
+        assert node.can_host(4, 2, 10.0)
+
+    def test_unpartitioned_ignores_ways(self, shared_node):
+        assert shared_node.can_host(4, 0, 0.0)
+
+
+class TestEffectiveWays:
+    def test_partitioned_residual_share(self, node):
+        node.place(1, get_program("CG"), 8, 10, 10.0, 1)
+        node.place(2, get_program("EP"), 8, 2, 0.1, 1)
+        # 8 free ways -> +4 each.
+        assert node.effective_ways(1) == pytest.approx(14.0)
+        assert node.effective_ways(2) == pytest.approx(6.0)
+
+    def test_unpartitioned_proportional_share(self, shared_node):
+        shared_node.place(1, get_program("CG"), 12, 0, 0.0, 1)
+        shared_node.place(2, get_program("EP"), 4, 0, 0.0, 1)
+        assert shared_node.effective_ways(1) == pytest.approx(15.0)
+        assert shared_node.effective_ways(2) == pytest.approx(5.0)
+
+    def test_absent_job_rejected(self, node):
+        with pytest.raises(AllocationError):
+            node.effective_ways(3)
+
+
+class TestOccupancyMetric:
+    def test_idle_node_is_zero(self, node):
+        assert node.occupancy_metric(beta=2.0) == 0.0
+
+    def test_beta_weights_ways(self, node):
+        node.place(1, get_program("CG"), 14, 10, 0.0, 1)
+        # Co = 0.5, Wo = 0.5, Bo = 0.
+        assert node.occupancy_metric(beta=2.0) == pytest.approx(1.5)
+        assert node.occupancy_metric(beta=0.0) == pytest.approx(0.5)
+
+    def test_bandwidth_term_clamped(self, node):
+        node.place(1, get_program("MG"), 14, 2, SPEC.peak_bw * 2, 1)
+        metric = node.occupancy_metric(beta=0.0)
+        assert metric == pytest.approx(0.5 + 1.0)
+
+
+class TestSlices:
+    def test_slices_reflect_residents(self, node):
+        node.place(1, get_program("MG"), 8, 4, 30.0, n_nodes=2)
+        node.place(2, get_program("EP"), 4, 2, 0.1, n_nodes=1)
+        slices = {s.job_id: s for s in node.slices()}
+        assert slices[1].procs == 8
+        assert slices[1].n_nodes == 2
+        assert slices[1].effective_ways == node.effective_ways(1)
+        assert slices[2].program.name == "EP"
+
+    def test_dedicated_ways_partitioned(self, node):
+        node.place(1, get_program("CG"), 8, 10, 0.0, 1)
+        assert node.dedicated_ways(1) == 10
+
+    def test_dedicated_ways_unpartitioned_zero(self, shared_node):
+        shared_node.place(1, get_program("CG"), 8, 10, 0.0, 1)
+        assert shared_node.dedicated_ways(1) == 0

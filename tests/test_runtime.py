@@ -1,0 +1,166 @@
+"""Simulation runtime integration tests."""
+
+import pytest
+
+from repro.apps.catalog import get_program
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.hardware.topology import ClusterSpec
+from repro.perfmodel.execution import reference_time
+from repro.scheduling.ce import CompactExclusiveScheduler
+from repro.scheduling.cs import CompactShareScheduler
+from repro.scheduling.sns import SpreadNShareScheduler
+from repro.sim.job import Job, JobState
+from repro.sim.runtime import Simulation
+
+
+def run(cluster_nodes, jobs, policy_cls=CompactExclusiveScheduler,
+        telemetry=False):
+    cluster = ClusterSpec(num_nodes=cluster_nodes)
+    policy = policy_cls(cluster)
+    return Simulation(cluster, policy, jobs,
+                      SimConfig(telemetry=telemetry)).run()
+
+
+class TestSingleJob:
+    def test_solo_job_runs_at_reference_time(self):
+        ep = get_program("EP")
+        job = Job(job_id=0, program=ep, procs=16)
+        result = run(1, [job])
+        expected = reference_time(ep, 16, ClusterSpec(num_nodes=1).node)
+        assert job.run_time == pytest.approx(expected)
+        assert job.wait_time == 0.0
+        assert result.makespan == pytest.approx(expected)
+
+    def test_work_multiplier_scales_runtime(self):
+        ep = get_program("EP")
+        base = Job(job_id=0, program=ep, procs=16)
+        run(1, [base])
+        doubled = Job(job_id=0, program=ep, procs=16, work_multiplier=2.0)
+        run(1, [doubled])
+        assert doubled.run_time == pytest.approx(2.0 * base.run_time)
+
+    def test_submit_time_respected(self):
+        ep = get_program("EP")
+        job = Job(job_id=0, program=ep, procs=16, submit_time=100.0)
+        result = run(1, [job])
+        assert job.start_time == pytest.approx(100.0)
+        assert result.makespan == pytest.approx(100.0 + job.run_time)
+
+
+class TestQueueing:
+    def test_ce_serializes_on_one_node(self):
+        ep = get_program("EP")
+        jobs = [Job(job_id=i, program=ep, procs=16) for i in range(3)]
+        run(1, jobs)
+        starts = sorted(j.start_time for j in jobs)
+        t = reference_time(ep, 16, ClusterSpec(num_nodes=1).node)
+        assert starts == pytest.approx([0.0, t, 2 * t])
+
+    def test_parallel_nodes_run_concurrently(self):
+        ep = get_program("EP")
+        jobs = [Job(job_id=i, program=ep, procs=16) for i in range(3)]
+        run(3, jobs)
+        assert all(j.wait_time == 0.0 for j in jobs)
+
+    def test_all_jobs_finish(self):
+        jobs = [
+            Job(job_id=i, program=get_program(name), procs=16)
+            for i, name in enumerate(("MG", "CG", "EP", "WC", "TS"))
+        ]
+        result = run(2, jobs)
+        assert all(j.state is JobState.FINISHED for j in result.jobs)
+
+    def test_oversized_job_deadlocks_with_clear_error(self):
+        ep = get_program("EP")
+        job = Job(job_id=0, program=ep, procs=28 * 3)  # needs 3 nodes
+        with pytest.raises(
+            SimulationError,
+            match="deadlock|never scheduled|placed nothing",
+        ):
+            run(2, [job])
+
+
+class TestCoScheduling:
+    def test_contention_slows_co_runners(self):
+        """Two MG jobs sharing a node via CS run slower than solo."""
+        mg = get_program("MG")
+        solo = Job(job_id=0, program=mg, procs=14)
+        run(1, [solo], CompactShareScheduler)
+
+        pair = [Job(job_id=i, program=mg, procs=14) for i in range(2)]
+        run(1, pair, CompactShareScheduler)
+        assert all(j.run_time > 1.2 * solo.run_time for j in pair)
+
+    def test_light_co_runners_barely_interfere(self):
+        ep = get_program("EP")
+        solo = Job(job_id=0, program=ep, procs=14)
+        run(1, [solo], CompactShareScheduler)
+
+        pair = [Job(job_id=i, program=ep, procs=14) for i in range(2)]
+        run(1, pair, CompactShareScheduler)
+        for j in pair:
+            assert j.run_time == pytest.approx(solo.run_time, rel=0.1)
+
+    def test_finish_event_reschedules_on_co_runner_exit(self):
+        """A job slowed by a co-runner speeds back up when it leaves."""
+        mg = get_program("MG")
+        long_job = Job(job_id=0, program=mg, procs=14, work_multiplier=2.0)
+        short_job = Job(job_id=1, program=mg, procs=14)
+        run(1, [long_job, short_job], CompactShareScheduler)
+        # The long job ran contended while the short one lived, then
+        # uncontended: its total must be strictly less than 2x the
+        # fully-contended prediction and more than the solo prediction.
+        solo = Job(job_id=0, program=mg, procs=14, work_multiplier=2.0)
+        run(1, [solo], CompactShareScheduler)
+        assert long_job.run_time > solo.run_time
+        assert long_job.finish_time > short_job.finish_time
+
+
+class TestResultAccessors:
+    def test_throughput_is_reciprocal_mean_turnaround(self):
+        ep = get_program("EP")
+        jobs = [Job(job_id=i, program=ep, procs=16) for i in range(2)]
+        result = run(2, jobs)
+        mean = sum(j.turnaround_time for j in jobs) / 2
+        assert result.throughput() == pytest.approx(1.0 / mean)
+
+    def test_node_seconds_accounts_footprints(self):
+        ep = get_program("EP")
+        job = Job(job_id=0, program=ep, procs=56)  # 2 nodes under CE
+        result = run(2, [job])
+        assert result.node_seconds() == pytest.approx(2 * job.run_time)
+
+    def test_duplicate_job_ids_rejected(self):
+        ep = get_program("EP")
+        jobs = [Job(job_id=0, program=ep, procs=16) for _ in range(2)]
+        with pytest.raises(SimulationError):
+            run(1, jobs)
+
+
+class TestTelemetryIntegration:
+    def test_telemetry_records_usage(self):
+        mg = get_program("MG")
+        job = Job(job_id=0, program=mg, procs=16)
+        result = run(1, [job], telemetry=True)
+        matrix = result.telemetry.episode_matrix(30.0, result.makespan)
+        assert matrix.max() > 50.0  # MG saturates the node
+
+    def test_telemetry_disabled(self):
+        ep = get_program("EP")
+        result = run(1, [Job(job_id=0, program=ep, procs=16)])
+        assert result.telemetry is None
+
+
+class TestConservation:
+    def test_work_conservation_under_churn(self):
+        """Progress integration must conserve total work across speed
+        changes: every finished job's settled work equals its total."""
+        jobs = [
+            Job(job_id=i, program=get_program(name), procs=14)
+            for i, name in enumerate(("MG", "CG", "EP", "HC", "BW", "TS"))
+        ]
+        result = run(2, jobs, CompactShareScheduler)
+        for job in result.finished_jobs:
+            assert job.remaining_work == pytest.approx(0.0, abs=1e-6)
+            assert job.finish_time >= job.start_time

@@ -1,0 +1,124 @@
+"""Simulator edge cases and failure injection."""
+
+import pytest
+
+from repro.apps.catalog import get_program
+from repro.config import SimConfig
+from repro.errors import SimulationError
+from repro.hardware.topology import ClusterSpec
+from repro.scheduling.base import BaseScheduler
+from repro.scheduling.ce import CompactExclusiveScheduler
+from repro.scheduling.cs import CompactShareScheduler
+from repro.sim.job import Job
+from repro.sim.runtime import Simulation
+
+EP = get_program("EP")
+MG = get_program("MG")
+
+
+def run(jobs, nodes=2, policy_cls=CompactExclusiveScheduler, **sim_kwargs):
+    cluster = ClusterSpec(num_nodes=nodes)
+    config = SimConfig(telemetry=False, **sim_kwargs)
+    return Simulation(cluster, policy_cls(cluster), jobs, config).run()
+
+
+class TestEdgeCases:
+    def test_empty_job_list(self):
+        result = run([])
+        assert result.makespan == 0.0
+        assert result.finished_jobs == []
+
+    def test_tiny_work_multiplier(self):
+        job = Job(job_id=0, program=EP, procs=16, work_multiplier=1e-6)
+        result = run([job])
+        assert job.run_time > 0
+        assert result.makespan == pytest.approx(job.run_time)
+
+    def test_huge_work_multiplier(self):
+        job = Job(job_id=0, program=EP, procs=16, work_multiplier=1e4)
+        run([job], max_sim_time=1e10)
+        assert job.run_time == pytest.approx(200.0 * 1e4, rel=1e-6)
+
+    def test_simultaneous_submissions_all_start(self):
+        jobs = [Job(job_id=i, program=EP, procs=16, submit_time=100.0)
+                for i in range(2)]
+        run(jobs, nodes=2)
+        assert all(j.start_time == pytest.approx(100.0) for j in jobs)
+
+    def test_single_process_job(self):
+        job = Job(job_id=0, program=get_program("HC"), procs=1)
+        result = run([job], nodes=1, policy_cls=CompactShareScheduler)
+        assert result.finished_jobs[0].run_time > 0
+
+    def test_max_sim_time_guard(self):
+        job = Job(job_id=0, program=EP, procs=16, work_multiplier=100.0)
+        with pytest.raises(SimulationError, match="max_sim_time"):
+            run([job], max_sim_time=10.0)
+
+    def test_mean_turnaround_requires_finished_jobs(self):
+        result = run([])
+        with pytest.raises(SimulationError):
+            result.mean_turnaround()
+
+
+class _BrokenPolicy(BaseScheduler):
+    """Policy that claims placements for jobs it was never given."""
+
+    partitioned = False
+
+    def _try_place(self, cluster, job, now):
+        from repro.scheduling.placement import split_procs
+        ghost = Job(job_id=999, program=EP, procs=4)
+        chosen = cluster.idle_nodes()[:1]
+        if not chosen:
+            return None
+        return self._install(
+            cluster, ghost, chosen, split_procs(4, chosen),
+            ways=20, bw_per_node=0.0, scale_factor=1,
+        )
+
+
+class _DoublePlacePolicy(BaseScheduler):
+    """Policy that returns two decisions for the same job."""
+
+    partitioned = False
+
+    def schedule_point(self, cluster, pending, now):
+        from repro.scheduling.placement import split_procs
+        decisions = []
+        for job in list(pending)[:1]:
+            for start in (0, 1):
+                chosen = [start]
+                decisions.append(self._install(
+                    cluster, job, chosen, split_procs(job.procs, chosen),
+                    ways=20, bw_per_node=0.0, scale_factor=1,
+                ))
+        return decisions
+
+    def _try_place(self, cluster, job, now):  # pragma: no cover
+        return None
+
+
+class TestFailureInjection:
+    def test_ghost_placement_rejected(self):
+        job = Job(job_id=0, program=EP, procs=16)
+        with pytest.raises(SimulationError,
+                           match="not pending|unknown job"):
+            run([job], policy_cls=_BrokenPolicy)
+
+    def test_double_placement_rejected(self):
+        job = Job(job_id=0, program=EP, procs=16)
+        with pytest.raises(SimulationError, match="twice"):
+            run([job], policy_cls=_DoublePlacePolicy)
+
+
+class TestSchedulingPointOrdering:
+    def test_finish_then_submit_same_instant(self):
+        """A job finishing exactly when another is submitted frees its
+        resources first (finish events order before submits)."""
+        t = 200.0  # EP reference time
+        first = Job(job_id=0, program=EP, procs=16, submit_time=0.0)
+        second = Job(job_id=1, program=EP, procs=16, submit_time=t)
+        run([first, second], nodes=1)
+        assert second.start_time == pytest.approx(t)
+        assert second.wait_time == pytest.approx(0.0)

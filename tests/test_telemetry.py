@@ -1,0 +1,90 @@
+"""Bandwidth telemetry: segments -> episode matrix."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.telemetry import TelemetryRecorder
+
+
+@pytest.fixture
+def recorder() -> TelemetryRecorder:
+    return TelemetryRecorder(num_nodes=2)
+
+
+class TestSegments:
+    def test_single_constant_segment(self, recorder):
+        recorder.record(0, 0.0, 50.0)
+        recorder.close(60.0)
+        matrix = recorder.episode_matrix(30.0, 60.0)
+        assert matrix.shape == (2, 2)
+        assert matrix[0].tolist() == pytest.approx([50.0, 50.0])
+        assert matrix[1].tolist() == pytest.approx([0.0, 0.0])
+
+    def test_mid_episode_change_averages(self, recorder):
+        recorder.record(0, 0.0, 100.0)
+        recorder.record(0, 15.0, 0.0)
+        recorder.close(30.0)
+        matrix = recorder.episode_matrix(30.0, 30.0)
+        assert matrix[0, 0] == pytest.approx(50.0)
+
+    def test_segment_spanning_episodes(self, recorder):
+        recorder.record(0, 10.0, 60.0)
+        recorder.close(70.0)
+        matrix = recorder.episode_matrix(30.0, 70.0)
+        # [10,30): 20s of 60 -> 40 avg; [30,60): full; [60,70): 10s of 60
+        assert matrix[0, 0] == pytest.approx(60.0 * 20 / 30)
+        assert matrix[0, 1] == pytest.approx(60.0)
+        assert matrix[0, 2] == pytest.approx(60.0 * 10 / 30)
+
+    def test_zero_length_segment_dropped(self, recorder):
+        recorder.record(0, 5.0, 10.0)
+        recorder.record(0, 5.0, 20.0)  # immediate overwrite
+        recorder.close(10.0)
+        matrix = recorder.episode_matrix(10.0, 10.0)
+        assert matrix[0, 0] == pytest.approx(10.0)  # only the 20.0 5s segment? no:
+        # the first segment had zero length, the second ran 5..10 at 20.
+        # episode average = 20 * 5/10 = 10.
+
+    def test_time_backwards_rejected(self, recorder):
+        recorder.record(0, 10.0, 5.0)
+        with pytest.raises(SimulationError):
+            recorder.record(0, 5.0, 5.0)
+
+    def test_bad_node_rejected(self, recorder):
+        with pytest.raises(SimulationError):
+            recorder.record(9, 0.0, 1.0)
+
+    def test_negative_bw_rejected(self, recorder):
+        with pytest.raises(SimulationError):
+            recorder.record(0, 0.0, -1.0)
+
+
+class TestMetrics:
+    def test_variance_uniform_load_is_zero(self, recorder):
+        recorder.record(0, 0.0, 40.0)
+        recorder.record(1, 0.0, 40.0)
+        recorder.close(60.0)
+        assert recorder.bandwidth_variance(30.0, 60.0, 100.0) == pytest.approx(0.0)
+
+    def test_variance_imbalanced_load(self, recorder):
+        recorder.record(0, 0.0, 100.0)
+        recorder.record(1, 0.0, 0.0)
+        recorder.close(30.0)
+        # values {100, 0}: std = 50, peak 100 -> 0.5
+        assert recorder.bandwidth_variance(30.0, 30.0, 100.0) == pytest.approx(0.5)
+
+    def test_matrix_validation(self, recorder):
+        with pytest.raises(SimulationError):
+            recorder.episode_matrix(0.0, 10.0)
+        with pytest.raises(SimulationError):
+            recorder.episode_matrix(30.0, 0.0)
+        with pytest.raises(SimulationError):
+            recorder.bandwidth_variance(30.0, 30.0, 0.0)
+
+    def test_truncation_at_end_time(self, recorder):
+        recorder.record(0, 0.0, 60.0)
+        recorder.close(100.0)
+        matrix = recorder.episode_matrix(30.0, 45.0)
+        assert matrix.shape[1] == 2
+        assert matrix[0, 1] == pytest.approx(60.0 * 15 / 30)

@@ -1,0 +1,170 @@
+"""Workload generators: sequences, mixes, synthetic trace."""
+
+import pytest
+
+from repro.apps.catalog import PROGRAMS
+from repro.errors import WorkloadError
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.execution import reference_time
+from repro.workloads.mixes import controlled_mix, mix_ladder
+from repro.workloads.sequences import clone_jobs, random_sequence, random_sequences
+from repro.workloads.trace import (
+    NON_SCALING_PROGRAMS,
+    SCALING_PROGRAMS,
+    SyntheticTraceConfig,
+    synthesize_trace,
+)
+
+SPEC = NodeSpec()
+
+
+class TestRandomSequences:
+    def test_deterministic_by_seed(self):
+        a = random_sequence(seed=7)
+        b = random_sequence(seed=7)
+        assert [(j.program.name, j.procs) for j in a] == [
+            (j.program.name, j.procs) for j in b
+        ]
+
+    def test_different_seeds_differ(self):
+        a = random_sequence(seed=7)
+        b = random_sequence(seed=8)
+        assert [(j.program.name, j.procs) for j in a] != [
+            (j.program.name, j.procs) for j in b
+        ]
+
+    def test_paper_shape(self):
+        jobs = random_sequence(seed=1)
+        assert len(jobs) == 20
+        assert all(j.procs in (16, 28) for j in jobs)
+        assert all(j.submit_time == 0.0 for j in jobs)
+        assert all(j.program.name in PROGRAMS for j in jobs)
+
+    def test_batch_of_36(self):
+        seqs = random_sequences(36, 20)
+        assert len(seqs) == 36
+        ids = [j.job_id for j in seqs[0]]
+        assert ids == list(range(20))
+
+    def test_alpha_propagates(self):
+        jobs = random_sequence(seed=1, alpha=0.8)
+        assert all(j.alpha == 0.8 for j in jobs)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            random_sequence(seed=1, n_jobs=0)
+        with pytest.raises(WorkloadError):
+            random_sequence(seed=1, proc_choices=())
+        with pytest.raises(WorkloadError):
+            random_sequences(0)
+
+    def test_clone_jobs_fresh_state(self):
+        jobs = random_sequence(seed=1)
+        clones = clone_jobs(jobs)
+        assert clones is not jobs
+        for a, b in zip(jobs, clones):
+            assert a is not b
+            assert a.program is b.program
+            assert a.procs == b.procs
+            assert a.work_multiplier == b.work_multiplier
+
+
+class TestControlledMixes:
+    def test_extreme_ratios(self):
+        jobs0, r0 = controlled_mix(0.0)
+        assert r0 == 0.0
+        assert all(j.program.name == "HC" for j in jobs0)
+        jobs1, r1 = controlled_mix(1.0)
+        assert r1 == 1.0
+        assert all(j.program.name == "BW" for j in jobs1)
+
+    def test_intermediate_ratio_close(self):
+        _, achieved = controlled_mix(0.5)
+        assert abs(achieved - 0.5) < 0.05
+
+    def test_full_node_jobs(self):
+        jobs, _ = controlled_mix(0.5)
+        assert all(j.procs == 28 for j in jobs)
+        assert len(jobs) == 30
+
+    def test_interleaved_not_front_loaded(self):
+        jobs, _ = controlled_mix(0.5, seed=3)
+        names = [j.program.name for j in jobs]
+        first_half = names[:15].count("BW")
+        assert 0 < first_half < 15
+
+    def test_ladder_spans_zero_to_one(self):
+        ladder = mix_ladder(n_points=11)
+        targets = [t for t, _, _ in ladder]
+        assert targets[0] == 0.0 and targets[-1] == 1.0
+        assert len(ladder) == 11
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            controlled_mix(1.5)
+        with pytest.raises(WorkloadError):
+            controlled_mix(0.5, n_jobs=0)
+        with pytest.raises(WorkloadError):
+            mix_ladder(n_points=1)
+
+
+class TestSyntheticTrace:
+    CFG = SyntheticTraceConfig(n_jobs=400, duration_hours=100.0)
+
+    def test_deterministic_by_seed(self):
+        a = synthesize_trace(seed=3, scaling_ratio=0.5, config=self.CFG)
+        b = synthesize_trace(seed=3, scaling_ratio=0.5, config=self.CFG)
+        assert [(j.program.name, j.procs, j.submit_time) for j in a] == [
+            (j.program.name, j.procs, j.submit_time) for j in b
+        ]
+
+    def test_job_count_and_arrival_span(self):
+        jobs = synthesize_trace(seed=3, scaling_ratio=0.5, config=self.CFG)
+        assert len(jobs) == 400
+        last = max(j.submit_time for j in jobs)
+        assert last == pytest.approx(100.0 * 3600.0)
+
+    def test_widths_are_powers_of_two_nodes(self):
+        jobs = synthesize_trace(seed=3, scaling_ratio=0.5, config=self.CFG)
+        for job in jobs:
+            width = job.procs // SPEC.cores
+            assert job.procs == width * SPEC.cores
+            assert width & (width - 1) == 0  # power of two
+            assert width <= self.CFG.max_width_nodes
+
+    def test_ce_runtime_equals_trace_runtime(self):
+        jobs = synthesize_trace(seed=3, scaling_ratio=0.5, config=self.CFG)
+        job = jobs[0]
+        t_ce = reference_time(job.program, job.procs, SPEC) * job.work_multiplier
+        assert (
+            self.CFG.runtime_min_s - 1e-6
+            <= t_ce
+            <= self.CFG.runtime_max_s + 1e-6
+        )
+
+    def test_scaling_ratio_biases_sampling(self):
+        high = synthesize_trace(seed=3, scaling_ratio=0.95, config=self.CFG)
+        low = synthesize_trace(seed=3, scaling_ratio=0.05, config=self.CFG)
+        frac_high = sum(
+            j.program.name in SCALING_PROGRAMS for j in high
+        ) / len(high)
+        frac_low = sum(
+            j.program.name in SCALING_PROGRAMS for j in low
+        ) / len(low)
+        assert frac_high > 0.85
+        assert frac_low < 0.15
+
+    def test_program_groups_match_expected_classes(self):
+        assert set(SCALING_PROGRAMS) == {"MG", "CG", "LU", "TS", "BW"}
+        assert "GAN" not in NON_SCALING_PROGRAMS
+        assert "RNN" not in NON_SCALING_PROGRAMS
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            synthesize_trace(seed=1, scaling_ratio=2.0, config=self.CFG)
+        with pytest.raises(WorkloadError):
+            SyntheticTraceConfig(n_jobs=0)
+        with pytest.raises(WorkloadError):
+            SyntheticTraceConfig(width_alpha=1.0)
+        with pytest.raises(WorkloadError):
+            SyntheticTraceConfig(runtime_min_s=100.0, runtime_max_s=50.0)

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Calibration verification sweep for the program catalog.
+
+Prints, for every catalog program, the quantities the paper reports —
+solo bandwidth, scaling speedups, least ways for 90 % performance,
+scaling class — next to the target band each must land in.  Run after
+touching any :mod:`repro.apps.catalog` parameter:
+
+    python tools/calibrate.py
+
+Exit code is non-zero if any program leaves its band (the same bands
+are enforced by tests/test_catalog.py; this tool exists for the humans
+doing the tuning, with full numbers instead of pass/fail).
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.apps.catalog import PROGRAMS, SCALING_CLASS_EXPECTED, get_program
+from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.execution import predict_exclusive_time, reference_time
+from repro.profiling.classify import ScalingClass, classify
+
+SPEC = NodeSpec()
+
+#: ways-for-90 % target bands (tests/test_catalog.py keeps these in sync).
+WAYS90_BANDS = {
+    "EP": (1, 2), "HC": (1, 3), "WC": (1, 4), "MG": (2, 4),
+    "LU": (3, 6), "BW": (3, 6), "GAN": (3, 7), "RNN": (3, 6),
+    "CG": (8, 12), "TS": (9, 14), "NW": (12, 18), "BFS": (12, 18),
+}
+
+
+def solo_bandwidth(name: str, procs: int = 16) -> float:
+    program = get_program(name)
+    cap = SPEC.cache.ways_to_mb(float(SPEC.llc_ways)) / procs
+    demand = program.demand_gbps_per_proc(cap, 1) * procs
+    return min(demand, SPEC.bandwidth.aggregate(procs))
+
+
+def ways90(name: str, procs: int = 16) -> int:
+    program = get_program(name)
+    t_full = predict_exclusive_time(program, procs, 1, SPEC,
+                                    ways=SPEC.llc_ways)
+    for w in range(1, SPEC.llc_ways + 1):
+        if t_full / predict_exclusive_time(
+            program, procs, 1, SPEC, ways=w
+        ) >= 0.9:
+            return w
+    return SPEC.llc_ways
+
+
+def main() -> int:
+    failures = 0
+    header = (f"{'prog':5s} {'bw16':>7s} {'2x':>6s} {'4x':>6s} {'8x':>6s} "
+              f"{'w90':>4s} {'band':>8s} {'class':>8s} {'expected':>8s}")
+    print(header)
+    print("-" * len(header))
+    for name, program in PROGRAMS.items():
+        t_ref = reference_time(program, 16, SPEC)
+        speedups = {}
+        for n in (2, 4, 8):
+            if program.max_nodes is not None and n > program.max_nodes:
+                continue
+            speedups[n] = t_ref / predict_exclusive_time(
+                program, 16, n, SPEC
+            )
+        if speedups:
+            times = {1: t_ref}
+            times.update({n: t_ref / s for n, s in speedups.items()})
+            cls = classify(times)
+        else:
+            cls = ScalingClass.NEUTRAL
+        w = ways90(name)
+        lo, hi = WAYS90_BANDS[name]
+        expected = SCALING_CLASS_EXPECTED.get(name, "neutral")
+        ok_ways = lo <= w <= hi
+        ok_class = cls.value == expected
+        if not (ok_ways and ok_class):
+            failures += 1
+        marks = "" if (ok_ways and ok_class) else "  <-- OUT OF BAND"
+        cells = [f"{speedups.get(n, float('nan')):6.3f}" for n in (2, 4, 8)]
+        print(f"{name:5s} {solo_bandwidth(name):7.1f} {' '.join(cells)} "
+              f"{w:4d} {f'{lo}-{hi}':>8s} {cls.value:>8s} "
+              f"{expected:>8s}{marks}")
+    if failures:
+        print(f"\n{failures} program(s) out of band")
+        return 1
+    print("\nall programs within their calibration bands")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
