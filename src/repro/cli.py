@@ -4,8 +4,9 @@ Subcommands
 -----------
 ``list``
     List the reproducible experiments.
-``run <fig-id>``
-    Run one experiment and print its table (e.g. ``repro-sns run fig13``).
+``run <fig-id> [--quick] [--jobs N]``
+    Run one experiment and print its table (e.g. ``repro-sns run fig13``);
+    ``--jobs N`` fans grid experiments out over N worker processes.
 ``profile <program> [--procs N]``
     Run the profiling trial ladder for one catalog program and print the
     resulting profile.
@@ -38,9 +39,15 @@ def _cmd_list(_: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     experiment = get_experiment(args.experiment)
-    kwargs = experiment.quick_kwargs if args.quick else {}
+    kwargs = dict(experiment.quick_kwargs) if args.quick else {}
     if args.quick and not kwargs:
         print(f"(note: {args.experiment} has no reduced mode; running full)")
+    if args.parallel_jobs is not None:
+        if experiment.parallel:
+            kwargs["jobs"] = args.parallel_jobs
+        else:
+            print(f"(note: {args.experiment} has no parallel grid; "
+                  f"--jobs ignored)")
     result = experiment.run(**kwargs)
     print(experiment.render(result))
     return 0
@@ -97,6 +104,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--quick", action="store_true",
         help="reduced configuration for heavy experiments (fig14-16, fig20)",
+    )
+    p_run.add_argument(
+        "--jobs", type=int, default=None, dest="parallel_jobs",
+        metavar="N",
+        help="worker processes for grid experiments (0 = one per CPU); "
+             "results are identical to a serial run",
     )
 
     p_prof = sub.add_parser("profile", help="profile one catalog program")

@@ -21,10 +21,11 @@ shared CE baseline):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SchedulerConfig, SimConfig
 from repro.experiments.common import ascii_table, default_cluster
+from repro.experiments.parallel import grid_map
 from repro.hardware.topology import ClusterSpec
 from repro.metrics.means import arithmetic_mean, geometric_mean
 from repro.metrics.times import normalized_runtimes
@@ -76,6 +77,30 @@ class AblationResult:
         raise KeyError(name)
 
 
+def _run_sequence(task: tuple) -> List[Tuple[float, List[float]]]:
+    """One sequence: the shared CE baseline plus every SNS variant.
+
+    Returns ``[(throughput_gain, per_job_norms), ...]`` in variant order
+    (top-level so it pickles into worker processes).
+    """
+    seq, cluster, variants = task
+    ce = Simulation(
+        cluster, CompactExclusiveScheduler(cluster), clone_jobs(seq),
+        SimConfig(telemetry=False),
+    ).run()
+    out: List[Tuple[float, List[float]]] = []
+    for variant in variants:
+        sns = Simulation(
+            cluster,
+            SpreadNShareScheduler(cluster, variant.config),
+            clone_jobs(seq),
+            SimConfig(telemetry=False),
+        ).run()
+        norm = normalized_runtimes(sns, ce)
+        out.append((sns.throughput() / ce.throughput(), list(norm.values())))
+    return out
+
+
 def run_ablation(
     n_sequences: int = 12,
     n_jobs: int = 20,
@@ -83,36 +108,30 @@ def run_ablation(
     variants: Optional[Sequence[AblationVariant]] = None,
     base_seed: int = 2019,
     alpha: float = 0.9,
+    jobs: Optional[int] = None,
 ) -> AblationResult:
     cluster = cluster or default_cluster()
     variants = list(variants) if variants is not None else default_variants()
     sequences = random_sequences(n_sequences, n_jobs, base_seed=base_seed)
 
-    ce_runs = [
-        Simulation(
-            cluster, CompactExclusiveScheduler(cluster), clone_jobs(jobs),
-            SimConfig(telemetry=False),
-        ).run()
-        for jobs in sequences
-    ]
+    # Sequence-major fan-out (each sequence is independent; the CE
+    # baseline is computed once per sequence), merged variant-major.
+    per_sequence = grid_map(
+        _run_sequence,
+        [(seq, cluster, variants) for seq in sequences],
+        jobs=jobs,
+    )
 
     result = AblationResult()
     bound = 1.0 / alpha
-    for variant in variants:
+    for vi, variant in enumerate(variants):
         gains: List[float] = []
         norms: List[float] = []
-        violations = 0
-        for jobs, ce in zip(sequences, ce_runs):
-            sns = Simulation(
-                cluster,
-                SpreadNShareScheduler(cluster, variant.config),
-                clone_jobs(jobs),
-                SimConfig(telemetry=False),
-            ).run()
-            gains.append(sns.throughput() / ce.throughput())
-            norm = normalized_runtimes(sns, ce)
-            norms.extend(norm.values())
-            violations += sum(1 for v in norm.values() if v > bound + 1e-9)
+        for seq_out in per_sequence:
+            gain, seq_norms = seq_out[vi]
+            gains.append(gain)
+            norms.extend(seq_norms)
+        violations = sum(1 for v in norms if v > bound + 1e-9)
         result.outcomes.append(
             VariantOutcome(
                 name=variant.name,

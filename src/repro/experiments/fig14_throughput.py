@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.config import SchedulerConfig, SimConfig
 from repro.experiments.common import ascii_table, default_cluster, run_all_policies
+from repro.experiments.parallel import grid_map
 from repro.hardware.topology import ClusterSpec
 from repro.metrics.means import arithmetic_mean
 from repro.metrics.throughput import scaling_ratio
@@ -58,12 +59,41 @@ class Fig14Result:
         )
 
 
+def _run_sequence(task: tuple) -> SequenceOutcome:
+    """One sequence under all three policies (top-level: picklable).
+
+    The shared profile database is prebuilt for every (program, procs)
+    combination a sequence can draw, so lookups always hit and per-worker
+    copies behave identically to the serially shared instance.
+    """
+    index, seq, cluster, config, database = task
+    runs = run_all_policies(
+        cluster, seq,
+        scheduler_config=config,
+        sim_config=SimConfig(telemetry=False),
+        database=database,
+    )
+    ratio = scaling_ratio(runs["CE"].finished_jobs, database, cluster.node)
+    norm = {
+        policy: normalized_runtimes(runs[policy], runs["CE"])
+        for policy in ("CS", "SNS")
+    }
+    return SequenceOutcome(
+        index=index,
+        scaling_ratio=ratio,
+        throughput={p: r.throughput() for p, r in runs.items()},
+        runtime_norm={p: runtime_stats(v) for p, v in norm.items()},
+        job_runtime_norm=norm,
+    )
+
+
 def run_fig14(
     n_sequences: int = 36,
     n_jobs: int = 20,
     cluster: Optional[ClusterSpec] = None,
     base_seed: int = 2019,
     alpha: Optional[float] = None,
+    jobs: Optional[int] = None,
 ) -> Fig14Result:
     cluster = cluster or default_cluster()
     config = SchedulerConfig()
@@ -73,31 +103,14 @@ def run_fig14(
         PROGRAMS.values(), (16, 28), cluster.node, cluster.num_nodes,
         candidate_scales=config.candidate_scales,
     )
-    result = Fig14Result()
-    for i, jobs in enumerate(
-        random_sequences(n_sequences, n_jobs, base_seed=base_seed, alpha=alpha)
-    ):
-        runs = run_all_policies(
-            cluster, jobs,
-            scheduler_config=config,
-            sim_config=SimConfig(telemetry=False),
-            database=database,
+    tasks = [
+        (i, seq, cluster, config, database)
+        for i, seq in enumerate(
+            random_sequences(n_sequences, n_jobs, base_seed=base_seed,
+                             alpha=alpha)
         )
-        ratio = scaling_ratio(runs["CE"].finished_jobs, database, cluster.node)
-        norm = {
-            policy: normalized_runtimes(runs[policy], runs["CE"])
-            for policy in ("CS", "SNS")
-        }
-        result.outcomes.append(
-            SequenceOutcome(
-                index=i,
-                scaling_ratio=ratio,
-                throughput={p: r.throughput() for p, r in runs.items()},
-                runtime_norm={p: runtime_stats(v) for p, v in norm.items()},
-                job_runtime_norm=norm,
-            )
-        )
-    return result
+    ]
+    return Fig14Result(outcomes=grid_map(_run_sequence, tasks, jobs=jobs))
 
 
 def format_fig14(result: Fig14Result) -> str:

@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.experiments.common import ascii_table, run_all_policies
+from repro.experiments.parallel import grid_map, resolve_jobs
 from repro.hardware.topology import ClusterSpec
 from repro.metrics.times import breakdown
 from repro.workloads.trace import SyntheticTraceConfig, synthesize_trace
@@ -59,36 +60,76 @@ class Fig20Result:
         raise KeyError((nodes, ratio))
 
 
+def _run_point(task: tuple) -> TracePoint:
+    """One (cluster size, scaling ratio) grid point.
+
+    Top-level so it pickles into worker processes; the trace is
+    re-synthesized from the seed, which is cheap next to the replay and
+    keeps the task payload tiny.
+    """
+    nodes, ratio, trace_config, seed = task
+    jobs = synthesize_trace(seed=seed, scaling_ratio=ratio,
+                            config=trace_config)
+    cluster = ClusterSpec(num_nodes=nodes)
+    runs = run_all_policies(
+        cluster, jobs, policy_names=("CE", "SNS"),
+        sim_config=SimConfig(telemetry=False, max_sim_time=1e12),
+    )
+    ce = breakdown(runs["CE"])
+    sns = breakdown(runs["SNS"])
+    return TracePoint(
+        nodes=nodes,
+        scaling_ratio=ratio,
+        ce_wait=ce.wait / ce.turnaround,
+        ce_run=ce.run / ce.turnaround,
+        sns_wait=sns.wait / ce.turnaround,
+        sns_run=sns.run / ce.turnaround,
+    )
+
+
 def run_fig20(
     cluster_sizes: Sequence[int] = CLUSTER_SIZES,
     scaling_ratios: Sequence[float] = SCALING_RATIOS,
     trace_config: Optional[SyntheticTraceConfig] = None,
     seed: int = 42,
+    jobs: Optional[int] = None,
 ) -> Fig20Result:
+    """Replay the trace grid; ``jobs`` workers run points in parallel
+    (``None``/1 serial, ``<= 0`` one per CPU) with point order — and
+    results — identical to the serial run."""
     trace_config = trace_config or SyntheticTraceConfig()
-    points: List[TracePoint] = []
-    for ratio in scaling_ratios:
-        jobs = synthesize_trace(seed=seed, scaling_ratio=ratio,
-                                config=trace_config)
-        for nodes in cluster_sizes:
-            cluster = ClusterSpec(num_nodes=nodes)
-            runs = run_all_policies(
-                cluster, jobs, policy_names=("CE", "SNS"),
-                sim_config=SimConfig(telemetry=False, max_sim_time=1e12),
-            )
-            ce = breakdown(runs["CE"])
-            sns = breakdown(runs["SNS"])
-            points.append(
-                TracePoint(
-                    nodes=nodes,
-                    scaling_ratio=ratio,
-                    ce_wait=ce.wait / ce.turnaround,
-                    ce_run=ce.run / ce.turnaround,
-                    sns_wait=sns.wait / ce.turnaround,
-                    sns_run=sns.run / ce.turnaround,
+    tasks = [
+        (nodes, ratio, trace_config, seed)
+        for ratio in scaling_ratios
+        for nodes in cluster_sizes
+    ]
+    if resolve_jobs(jobs) <= 1:
+        # Serial: synthesize each ratio's trace once and share it across
+        # cluster sizes instead of once per point.
+        points: List[TracePoint] = []
+        for ratio in scaling_ratios:
+            trace = synthesize_trace(seed=seed, scaling_ratio=ratio,
+                                     config=trace_config)
+            for nodes in cluster_sizes:
+                cluster = ClusterSpec(num_nodes=nodes)
+                runs = run_all_policies(
+                    cluster, trace, policy_names=("CE", "SNS"),
+                    sim_config=SimConfig(telemetry=False, max_sim_time=1e12),
                 )
-            )
-    return Fig20Result(points=points)
+                ce = breakdown(runs["CE"])
+                sns = breakdown(runs["SNS"])
+                points.append(
+                    TracePoint(
+                        nodes=nodes,
+                        scaling_ratio=ratio,
+                        ce_wait=ce.wait / ce.turnaround,
+                        ce_run=ce.run / ce.turnaround,
+                        sns_wait=sns.wait / ce.turnaround,
+                        sns_run=sns.run / ce.turnaround,
+                    )
+                )
+        return Fig20Result(points=points)
+    return Fig20Result(points=grid_map(_run_point, tasks, jobs=jobs))
 
 
 def smoke_trace_config(n_jobs: int = 800,

@@ -37,6 +37,9 @@ class Experiment(NamedTuple):
     #: kwargs for a reduced run (`repro-sns run --quick`); empty when the
     #: full experiment is already fast.
     quick_kwargs: dict = {}
+    #: whether ``run`` accepts ``jobs=N`` for process-parallel grids
+    #: (`repro-sns run --jobs N`); see repro.experiments.parallel.
+    parallel: bool = False
 
 
 EXPERIMENTS: Dict[str, Experiment] = {
@@ -80,17 +83,17 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "fig14": Experiment(
         "throughput on 36 random sequences (CE/CS/SNS)",
         fig14_throughput.run_fig14, fig14_throughput.format_fig14,
-        {"n_sequences": 12},
+        {"n_sequences": 12}, parallel=True,
     ),
     "fig15": Experiment(
         "sorted SNS/CE and SNS/CS throughput ratios",
         fig15_relative.run_fig15, fig15_relative.format_fig15,
-        {"n_sequences": 12},
+        {"n_sequences": 12}, parallel=True,
     ),
     "fig16": Experiment(
         "normalized per-job runtimes + alpha violations",
         fig16_runtime.run_fig16, fig16_runtime.format_fig16,
-        {"n_sequences": 12},
+        {"n_sequences": 12}, parallel=True,
     ),
     "fig17": Experiment(
         "per-node bandwidth heat matrix (CE vs SNS)",
@@ -112,6 +115,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "scaling_ratios": (0.9,),
             "trace_config": fig20_large_cluster.smoke_trace_config(),
         },
+        parallel=True,
     ),
     "online": Experiment(
         "online-profiling convergence (piggybacked trial ladder)",
@@ -120,6 +124,7 @@ EXPERIMENTS: Dict[str, Experiment] = {
     "ablations": Experiment(
         "ablate SNS design choices (beta, tolerance, residual share, MBA)",
         ablations.run_ablation, ablations.format_ablation,
+        parallel=True,
     ),
     "baselines": Experiment(
         "four-way comparison incl. EASY-backfilled CE, with wide jobs",

@@ -65,16 +65,25 @@ class WayLedger:
 
     cache: CacheModel
     _alloc: Dict[int, int] = field(default_factory=dict)
+    # Running total, maintained by allocate/release: allocated_ways sits
+    # on the scheduler's per-candidate-node fast path (can_host), where
+    # re-summing the allocation map dominated large-cluster replays.
+    _allocated: int = field(default=0, init=False)
 
     @property
     def allocated_ways(self) -> int:
         """Total ways dedicated to resident jobs."""
-        return sum(self._alloc.values())
+        return self._allocated
 
     @property
     def free_ways(self) -> int:
         """Ways not dedicated to any job."""
         return self.cache.total_ways - self.allocated_ways
+
+    @property
+    def partition_count(self) -> int:
+        """Number of active CAT partitions (resident allocations)."""
+        return len(self._alloc)
 
     @property
     def resident_jobs(self) -> Iterable[int]:
@@ -115,13 +124,16 @@ class WayLedger:
                 f"job {job_id} requested {ways} ways; only {self.free_ways} free"
             )
         self._alloc[job_id] = ways
+        self._allocated += ways
 
     def release(self, job_id: int) -> int:
         """Release the allocation of ``job_id``; returns the freed ways."""
         try:
-            return self._alloc.pop(job_id)
+            ways = self._alloc.pop(job_id)
         except KeyError:
             raise AllocationError(f"job {job_id} has no way allocation") from None
+        self._allocated -= ways
+        return ways
 
     def effective_ways(self, job_id: int) -> float:
         """Dedicated ways plus the equal share of free (residual) ways.

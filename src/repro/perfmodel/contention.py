@@ -60,9 +60,11 @@ class Slice:
 
     def demand_gbps(self, spec: NodeSpec) -> float:
         """Unconstrained DRAM demand of the whole slice (GB/s)."""
+        from repro.perfmodel import memo
+
         cap = self.capacity_per_proc_mb(spec)
-        per_proc = self.program.demand_gbps_per_proc(
-            cap, self.n_nodes, core_peak_bw=spec.bandwidth.core_peak
+        per_proc = memo.demand_gbps_per_proc(
+            self.program, cap, self.n_nodes, spec.bandwidth.core_peak
         )
         return per_proc * self.procs
 

@@ -27,6 +27,7 @@ from repro import units
 from repro.errors import HardwareModelError
 from repro.apps.program import ProgramSpec
 from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel import memo
 
 
 @dataclass(frozen=True)
@@ -101,14 +102,23 @@ def job_time(
             f"(max {program.max_nodes})"
         )
     instr = program.instr_per_proc(procs)
-    slowest = min(process_rate(program, c, n_nodes) for c in per_node)
+    # Wide jobs usually see only a handful of distinct per-node
+    # conditions (a 512-node job typically has <= 2, like
+    # predict_exclusive_time exploits): evaluate each distinct one once.
+    distinct = set(per_node)
+    slowest = min(
+        memo.process_rate(
+            program, c.procs, c.capacity_per_proc_mb, c.granted_gbps, n_nodes
+        )
+        for c in distinct
+    )
     compute_time = instr / slowest
     k = scale_factor_of(n_nodes, procs, spec)
     t_ref = reference_time(program, procs, spec)
     comm_time = t_ref * program.comm.comm_fraction(k, n_nodes)
     # Network oversubscription on the job's most loaded node stretches
     # its communication phases (the link is shared proportionally).
-    congestion = max((c.net_load for c in per_node), default=0.0)
+    congestion = max((c.net_load for c in distinct), default=0.0)
     if congestion > 1.0:
         comm_time *= congestion
     return compute_time + comm_time

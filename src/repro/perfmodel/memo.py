@@ -1,0 +1,209 @@
+"""Memoization layer for the performance-model kernels.
+
+The trace replays of Fig 20 arbitrate bandwidth on thousands of nodes at
+every scheduling point, but large clusters carry massive redundancy: a
+32K-node replay typically has only a handful of *distinct* per-node job
+mixes alive at any instant.  This module exploits that redundancy with
+three caches:
+
+* **demand curves** — ``ProgramSpec.demand_gbps_per_proc`` evaluations,
+  keyed by (program, capacity, footprint, core peak);
+* **process rates** — the roofline ``min(R_cpu, R_mem)`` of
+  :func:`repro.perfmodel.execution.process_rate`, keyed by the fields of
+  :class:`NodeConditions` that affect it;
+* **node arbitration** — :func:`arbitrate_node` +
+  :func:`node_network_load` results per node, keyed by a canonical
+  *slice signature*: the sorted tuple of job-id-independent
+  ``(program, procs, effective_ways, n_nodes, bw_cap)`` per slice.
+  Grants are stored positionally in signature order and mapped back to
+  the querying node's actual job ids.
+
+Programs are keyed by identity (``id``); every cache entry keeps a
+strong reference to the program objects it was computed from and
+verifies them with ``is`` on lookup, so an id can never be recycled into
+a stale hit while its entry is alive.
+
+All caches are exact: a hit returns the bit-identical float the
+reference computation would produce (the cached value *is* that
+computation's result).  ``set_caches_enabled(False)`` (or the
+``REPRO_DISABLE_PERF_CACHES`` environment variable) routes every call
+straight to the reference kernels — the equivalence tests compare the
+two paths, and it is the switch to flip when debugging a suspected
+cache-coherence bug.  See DESIGN.md, "Performance architecture".
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Dict, Iterator, Sequence, Tuple
+
+from repro.hardware.node_spec import NodeSpec
+
+#: Safety valve: a cache that somehow exceeds this many entries is
+#: cleared wholesale (distinct signatures are bounded in practice, so
+#: this should never trigger outside adversarial workloads).
+MAX_ENTRIES = 1 << 20
+
+_enabled = os.environ.get("REPRO_DISABLE_PERF_CACHES", "") == ""
+
+# (id(program), capacity_mb, n_nodes, core_peak) -> (program, demand)
+_demand_cache: Dict[tuple, tuple] = {}
+# (id(program), procs, capacity_mb, granted, n_nodes) -> (program, rate)
+_rate_cache: Dict[tuple, tuple] = {}
+# (id(spec), signature) -> (spec, programs, grants, net_load)
+_node_cache: Dict[tuple, tuple] = {}
+
+_stats = {"demand": [0, 0], "rate": [0, 0], "node": [0, 0]}  # [hits, misses]
+
+
+def caches_enabled() -> bool:
+    """Whether the memoized fast path is active."""
+    return _enabled
+
+
+def set_caches_enabled(flag: bool) -> None:
+    """Globally enable/disable all perf-model caches (debug knob)."""
+    global _enabled
+    _enabled = bool(flag)
+
+
+def clear_caches() -> None:
+    """Drop every cached kernel result (and reset hit/miss stats)."""
+    _demand_cache.clear()
+    _rate_cache.clear()
+    _node_cache.clear()
+    for counters in _stats.values():
+        counters[0] = counters[1] = 0
+
+
+@contextmanager
+def caches_disabled() -> Iterator[None]:
+    """Run a block on the unmemoized reference path."""
+    previous = _enabled
+    set_caches_enabled(False)
+    try:
+        yield
+    finally:
+        set_caches_enabled(previous)
+
+
+def cache_stats() -> Dict[str, Dict[str, int]]:
+    """Hit/miss/size counters per cache (for benchmarks and tests)."""
+    sizes = {
+        "demand": len(_demand_cache),
+        "rate": len(_rate_cache),
+        "node": len(_node_cache),
+    }
+    return {
+        name: {"hits": h, "misses": m, "size": sizes[name]}
+        for name, (h, m) in _stats.items()
+    }
+
+
+# -- kernel wrappers ----------------------------------------------------------
+
+
+def demand_gbps_per_proc(program, capacity_mb: float, n_nodes: int,
+                         core_peak: float) -> float:
+    """Memoized ``program.demand_gbps_per_proc`` curve evaluation."""
+    if not _enabled:
+        return program.demand_gbps_per_proc(
+            capacity_mb, n_nodes, core_peak_bw=core_peak
+        )
+    key = (id(program), capacity_mb, n_nodes, core_peak)
+    hit = _demand_cache.get(key)
+    if hit is not None and hit[0] is program:
+        _stats["demand"][0] += 1
+        return hit[1]
+    value = program.demand_gbps_per_proc(
+        capacity_mb, n_nodes, core_peak_bw=core_peak
+    )
+    if len(_demand_cache) >= MAX_ENTRIES:
+        _demand_cache.clear()
+    _demand_cache[key] = (program, value)
+    _stats["demand"][1] += 1
+    return value
+
+
+def process_rate(program, procs: int, capacity_mb: float, granted: float,
+                 n_nodes: int) -> float:
+    """Memoized per-process roofline rate (``net_load`` does not affect
+    the rate, so it is excluded from the key)."""
+    from repro.perfmodel.execution import NodeConditions
+    from repro.perfmodel.execution import process_rate as _reference
+
+    if not _enabled:
+        return _reference(
+            program, NodeConditions(procs, capacity_mb, granted), n_nodes
+        )
+    key = (id(program), procs, capacity_mb, granted, n_nodes)
+    hit = _rate_cache.get(key)
+    if hit is not None and hit[0] is program:
+        _stats["rate"][0] += 1
+        return hit[1]
+    value = _reference(
+        program, NodeConditions(procs, capacity_mb, granted), n_nodes
+    )
+    if len(_rate_cache) >= MAX_ENTRIES:
+        _rate_cache.clear()
+    _rate_cache[key] = (program, value)
+    _stats["rate"][1] += 1
+    return value
+
+
+def slice_signature(slices: Sequence) -> tuple:
+    """Job-id-independent signature of a node's slice sequence.
+
+    The signature is *order-preserving*, not sorted: bandwidth
+    arbitration sums demands in slice order, and floating-point addition
+    is not associative, so canonicalizing the order could alias two
+    nodes whose reference results differ in the last ulp.  Nodes that
+    receive the same job mix in the same order — the case mass-produced
+    by wide-job placement on big clusters — share an entry either way.
+    """
+    return tuple(
+        (
+            s.program.name, id(s.program), s.procs, s.effective_ways,
+            s.n_nodes, -1.0 if s.bw_cap is None else s.bw_cap,
+        )
+        for s in slices
+    )
+
+
+def node_arbitration(
+    spec: NodeSpec, slices: Sequence
+) -> Tuple[Dict[int, float], float]:
+    """Memoized ``(arbitrate_node, node_network_load)`` pair for one
+    node's slice set.  Grants are cached positionally (signature order)
+    and mapped back to the querying node's actual job ids."""
+    from repro.perfmodel.contention import arbitrate_node, node_network_load
+
+    if not slices:
+        return {}, 0.0
+    if not _enabled:
+        return arbitrate_node(spec, slices), node_network_load(spec, slices)
+    key = (id(spec), slice_signature(slices))
+    hit = _node_cache.get(key)
+    if hit is not None and hit[0] is spec and all(
+        p is s.program for p, s in zip(hit[1], slices)
+    ):
+        _stats["node"][0] += 1
+        grants_by_pos, net_load = hit[2], hit[3]
+        return (
+            {s.job_id: g for s, g in zip(slices, grants_by_pos)},
+            net_load,
+        )
+    grants = arbitrate_node(spec, slices)
+    net_load = node_network_load(spec, slices)
+    entry = (
+        spec,
+        tuple(s.program for s in slices),
+        tuple(grants[s.job_id] for s in slices),
+        net_load,
+    )
+    if len(_node_cache) >= MAX_ENTRIES:
+        _node_cache.clear()
+    _node_cache[key] = entry
+    _stats["node"][1] += 1
+    return grants, net_load

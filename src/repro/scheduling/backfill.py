@@ -60,8 +60,7 @@ class CompactExclusiveBackfillScheduler(BaseScheduler):
 
     def _start(self, cluster: ClusterState, job: Job, now: float,
                n_nodes: int) -> Decision:
-        idle = cluster.idle_nodes()
-        chosen = idle[:n_nodes]
+        chosen = cluster.first_idle(n_nodes)
         procs_per_node = split_procs(job.procs, chosen)
         decision = self._install(
             cluster, job, chosen, procs_per_node,
@@ -106,7 +105,7 @@ class CompactExclusiveBackfillScheduler(BaseScheduler):
             if n is None:
                 index += 1  # permanently unschedulable here; skip over
                 continue
-            if n <= len(cluster.idle_nodes()):
+            if n <= cluster.idle_count():
                 decisions.append(self._start(cluster, job, now, n))
                 index += 1
             else:
@@ -122,14 +121,14 @@ class CompactExclusiveBackfillScheduler(BaseScheduler):
         head = head_tail[0]
         n_head = self._footprint(head)
         assert n_head is not None
-        idle_now = len(cluster.idle_nodes())
+        idle_now = cluster.idle_count()
         t_res, extra = self._reservation(idle_now, n_head, now)
         head.times_passed_over += 1
 
         for job in head_tail[1:]:
             n = self._footprint(job)
             assert n is not None
-            idle_now = len(cluster.idle_nodes())
+            idle_now = cluster.idle_count()
             if n > idle_now:
                 job.times_passed_over += 1
                 continue

@@ -10,6 +10,7 @@ prevents starvation of resource-demanding jobs (Section 4.4).
 from __future__ import annotations
 
 import abc
+import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SchedulerConfig
@@ -71,7 +72,6 @@ class BaseScheduler(abc.ABC):
         limit = self.config.max_queue_scan
         if len(pending) <= limit:
             return sorted(pending, key=self._priority_key)
-        import heapq
         return heapq.nsmallest(limit, pending, key=self._priority_key)
 
     # -- shared placement helpers -----------------------------------------------

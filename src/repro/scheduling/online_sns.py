@@ -87,10 +87,9 @@ class OnlineSpreadNShareScheduler(SpreadNShareScheduler):
         n_nodes = scale * self._base_nodes(job)
         if not self._valid_footprint(job, n_nodes):
             return None
-        idle = cluster.idle_nodes()
-        if len(idle) < n_nodes:
+        if cluster.idle_count() < n_nodes:
             return None
-        chosen = idle[:n_nodes]
+        chosen = cluster.first_idle(n_nodes)
         procs_per_node = split_procs(job.procs, chosen)
         decision = self._install(
             cluster, job, chosen, procs_per_node,

@@ -65,21 +65,19 @@ def find_nodes(
     scan_cap = max(256, 4 * n_nodes)
 
     def qualify(ids: Sequence[int]) -> List[int]:
-        out: List[int] = []
-        for nid in ids:
-            if cluster.node(nid).can_host(cores, ways, bw, net):
-                out.append(nid)
-                if len(out) >= scan_cap:
-                    break
-        return out
+        return cluster.scan_hosts(ids, cores, ways, bw, net, scan_cap)
+
+    nodes = cluster.nodes
+
+    # One key function for the whole call (both pick() invocations)
+    # instead of rebuilding a closure per selection.
+    def metric_key(nid: int):
+        return (nodes[nid].occupancy_metric(beta), nid)
 
     def pick(ids: List[int]) -> List[int]:
         if len(ids) <= n_nodes:
             return ids
-        return heapq.nsmallest(
-            n_nodes, ids,
-            key=lambda nid: (cluster.node(nid).occupancy_metric(beta), nid),
-        )
+        return heapq.nsmallest(n_nodes, ids, key=metric_key)
 
     buckets = cluster.free_core_buckets()
     # Idlest groups first: selecting the emptiest compatible group keeps

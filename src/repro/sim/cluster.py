@@ -9,11 +9,20 @@ simulated clusters of Fig 20.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Set
+from itertools import islice
+from typing import Dict, Iterable, List, Set, Tuple
+
+import numpy as np
 
 from repro.errors import SimulationError
 from repro.hardware.topology import ClusterSpec
+from repro.perfmodel import memo
+from repro.perfmodel.contention import arbitrate_node, node_network_load
 from repro.sim.node import NodeState
+
+#: Cached per-node arbitration: (granted GB/s per job, network load,
+#: effective LLC ways per job).
+ArbitrationView = Tuple[Dict[int, float], float, Dict[int, float]]
 
 
 @dataclass
@@ -29,6 +38,16 @@ class ClusterState:
     # deterministic iteration order, and — unlike sorting — no O(G log G)
     # cost per query on clusters with tens of thousands of idle nodes.
     _by_free_cores: Dict[int, Dict[int, None]] = field(init=False)
+    # Per-node arbitration results, evicted whenever place/remove changes
+    # the node's slice set; the runtime's _refresh reads unchanged nodes
+    # from here instead of re-arbitrating them from scratch.
+    _arb_cache: Dict[int, ArbitrationView] = field(init=False)
+    # Signature-keyed arbitration views shared *across* nodes: wide-job
+    # placement produces thousands of nodes with identical resident mixes,
+    # and a _arb_cache eviction on one of them can be refilled from a
+    # sibling's result without rebuilding Slice objects.  Values store
+    # grants/ways positionally plus the program refs for stale-id defence.
+    _view_cache: Dict[tuple, tuple] = field(init=False)
 
     def __post_init__(self) -> None:
         self.nodes = [
@@ -44,6 +63,21 @@ class ClusterState:
         self._by_free_cores = {
             self.spec.node.cores: dict.fromkeys(range(len(self.nodes)))
         }
+        self._arb_cache = {}
+        self._view_cache = {}
+        # Columnar mirror of each node's free capacities.  place/remove
+        # only mark nodes dirty; scan_hosts() flushes the dirty set in one
+        # batched fancy-indexed write before filtering whole buckets
+        # vectorized — per-element numpy scalar stores on every mutation
+        # were measurably slower than the batch.
+        n = len(self.nodes)
+        node = self.spec.node
+        self._dirty: Dict[int, None] = {}
+        self._free_cores_a = np.full(n, node.cores, dtype=np.int64)
+        self._free_ways_a = np.full(n, node.llc_ways, dtype=np.int64)
+        self._parts_a = np.zeros(n, dtype=np.int64)
+        self._free_bw_a = np.full(n, node.peak_bw, dtype=np.float64)
+        self._free_net_a = np.ones(n, dtype=np.float64)
 
     # -- index maintenance -----------------------------------------------------
 
@@ -69,12 +103,30 @@ class ClusterState:
         old = node.free_cores
         node.place(*args, **kwargs)
         self._reindex(node, old)
+        self._arb_cache.pop(node_id, None)
+        self._dirty[node_id] = None
 
     def remove(self, node_id: int, job_id: int) -> None:
         node = self.nodes[node_id]
         old = node.free_cores
         node.remove(job_id)
         self._reindex(node, old)
+        self._arb_cache.pop(node_id, None)
+        self._dirty[node_id] = None
+
+    def _flush_arrays(self) -> None:
+        dirty = self._dirty
+        if not dirty:
+            return
+        nodes = self.nodes
+        idx = np.fromiter(dirty, dtype=np.int64, count=len(dirty))
+        self._free_cores_a[idx] = [nodes[i].free_cores for i in dirty]
+        self._free_bw_a[idx] = [nodes[i].free_bw for i in dirty]
+        self._free_net_a[idx] = [nodes[i].free_net for i in dirty]
+        if self.partitioned:
+            self._free_ways_a[idx] = [nodes[i].free_ways for i in dirty]
+            self._parts_a[idx] = [nodes[i].cat_partitions for i in dirty]
+        dirty.clear()
 
     # -- queries -----------------------------------------------------------------
 
@@ -84,6 +136,45 @@ class ClusterState:
     def idle_nodes(self) -> List[int]:
         """Fully idle node ids (deterministic insertion order)."""
         return list(self._by_free_cores.get(self.spec.node.cores, ()))
+
+    def idle_count(self) -> int:
+        """Number of fully idle nodes (O(1))."""
+        return len(self._by_free_cores.get(self.spec.node.cores, ()))
+
+    def first_idle(self, n: int) -> List[int]:
+        """The first ``n`` fully idle node ids in insertion order,
+        without copying the whole idle bucket (== ``idle_nodes()[:n]``)."""
+        bucket = self._by_free_cores.get(self.spec.node.cores, ())
+        return list(islice(bucket, n))
+
+    def scan_hosts(self, ids: Iterable[int], cores: int, ways: int,
+                   bw: float, net: float, limit: int) -> List[int]:
+        """First ``limit`` node ids (scanned in the given order) that
+        satisfy :meth:`NodeState.can_host` with these demands.
+
+        Vectorized over the capacity arrays; condition-for-condition
+        identical to calling ``can_host`` per node.
+        """
+        self._flush_arrays()
+        count = len(ids) if hasattr(ids, "__len__") else -1
+        arr = np.fromiter(ids, dtype=np.int64, count=count)
+        if arr.size == 0:
+            return []
+        node = self.spec.node
+        if self.partitioned and (
+            ways < node.cache.min_ways or ways > node.llc_ways
+        ):
+            return []  # can_allocate() rejects on every node
+        ok = self._free_cores_a[arr] >= cores
+        if self.partitioned:
+            ok &= self._free_ways_a[arr] >= ways
+            ok &= self._parts_a[arr] < node.cache.max_partitions
+        ok &= self._free_bw_a[arr] + 1e-9 >= bw
+        ok &= self._free_net_a[arr] + 1e-9 >= net
+        hits = arr[ok]
+        if hits.size > limit:
+            hits = hits[:limit]
+        return hits.tolist()
 
     def groups_by_free_cores(self, min_free: int = 1) -> Dict[int, List[int]]:
         """Node groups keyed by free-core count (>= ``min_free`` only),
@@ -116,7 +207,60 @@ class ClusterState:
         )
 
     def total_free_cores(self) -> int:
-        return sum(n.free_cores for n in self.nodes)
+        # O(buckets): every node sits in exactly one free-core bucket.
+        return sum(
+            free * len(ids) for free, ids in self._by_free_cores.items()
+        )
+
+    def arbitration(self, node_id: int) -> ArbitrationView:
+        """Bandwidth grants, network load, and effective ways on one
+        node, cached until the node's slice set changes.
+
+        With the perf-model caches disabled (debugging / equivalence
+        runs) every call recomputes from scratch on the reference path.
+        """
+        if not memo.caches_enabled():
+            return self._arbitrate(node_id)
+        view = self._arb_cache.get(node_id)
+        if view is None:
+            view = self._arbitrate(node_id)
+            self._arb_cache[node_id] = view
+        return view
+
+    def _arbitrate(self, node_id: int) -> ArbitrationView:
+        node = self.nodes[node_id]
+        if node.is_idle:
+            return {}, 0.0, {}
+        if not memo.caches_enabled():
+            slices = node.slices()
+            grants = arbitrate_node(node.spec, slices)
+            net_load = node_network_load(node.spec, slices)
+            return (
+                grants, net_load,
+                {s.job_id: s.effective_ways for s in slices},
+            )
+        key, jids, programs = node.arb_signature()
+        entry = self._view_cache.get(key)
+        if entry is not None and all(
+            p is q for p, q in zip(entry[0], programs)
+        ):
+            return (
+                dict(zip(jids, entry[1])),
+                entry[2],
+                dict(zip(jids, entry[3])),
+            )
+        slices = node.slices()
+        grants, net_load = memo.node_arbitration(node.spec, slices)
+        eff = {s.job_id: s.effective_ways for s in slices}
+        if len(self._view_cache) >= memo.MAX_ENTRIES:
+            self._view_cache.clear()
+        self._view_cache[key] = (
+            programs,
+            tuple(grants[j] for j in jids),
+            net_load,
+            tuple(eff[j] for j in jids),
+        )
+        return grants, net_load, eff
 
     def verify_index(self) -> None:
         """Invariant check used by tests and defensive assertions."""

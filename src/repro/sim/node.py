@@ -11,7 +11,7 @@ of an unmanaged shared cache under equal per-core pressure).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Dict, List, Optional, Tuple
 
 from repro.apps.program import ProgramSpec
 from repro.errors import AllocationError
@@ -47,6 +47,19 @@ class NodeState:
     share_residual: bool = True
     _residents: Dict[int, _Resident] = field(default_factory=dict)
     _ledger: WayLedger = field(init=False)
+    # Incremental capacity accounting: these sit on the scheduler's
+    # per-candidate fast path (can_host / occupancy_metric), where
+    # re-summing the resident map per query dominated 32K-node replays.
+    # Core counts are integers and kept as a running total; the float
+    # bookings are recomputed lazily on the same resident order as the
+    # original sums so cached values are bit-identical to re-summing.
+    _used_cores: int = field(default=0, init=False)
+    _booked_totals: Optional[Tuple[float, float]] = field(
+        default=None, init=False
+    )
+    # Lazily built arbitration signature (see arb_signature), dropped by
+    # place/remove.
+    _arb_sig: Optional[tuple] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
         self._ledger = WayLedger(self.spec.cache)
@@ -55,20 +68,35 @@ class NodeState:
 
     @property
     def used_cores(self) -> int:
-        return sum(r.procs for r in self._residents.values())
+        return self._used_cores
 
     @property
     def free_cores(self) -> int:
-        return self.spec.cores - self.used_cores
+        return self.spec.cores - self._used_cores
 
     @property
     def free_ways(self) -> int:
         return self._ledger.free_ways
 
     @property
+    def cat_partitions(self) -> int:
+        """Number of active CAT partitions on this node."""
+        return self._ledger.partition_count
+
+    def _booked(self) -> Tuple[float, float]:
+        totals = self._booked_totals
+        if totals is None:
+            totals = (
+                sum(r.booked_bw for r in self._residents.values()),
+                sum(r.booked_net for r in self._residents.values()),
+            )
+            self._booked_totals = totals
+        return totals
+
+    @property
     def booked_bw(self) -> float:
         """Total bandwidth (GB/s) booked by the scheduler on this node."""
-        return sum(r.booked_bw for r in self._residents.values())
+        return self._booked()[0]
 
     @property
     def free_bw(self) -> float:
@@ -78,7 +106,7 @@ class NodeState:
     def booked_net(self) -> float:
         """Total booked link-utilization fraction (network dimension,
         the paper's Section 3.3 extension)."""
-        return sum(r.booked_net for r in self._residents.values())
+        return self._booked()[1]
 
     @property
     def free_net(self) -> float:
@@ -132,6 +160,9 @@ class NodeState:
         if self.partitioned:
             self._ledger.allocate(job_id, ways)
         self._residents[job_id] = _Resident(program, procs, n_nodes, bw, net)
+        self._used_cores += procs
+        self._booked_totals = None
+        self._arb_sig = None
 
     def remove(self, job_id: int) -> None:
         """Remove a job slice (on completion)."""
@@ -139,7 +170,10 @@ class NodeState:
             raise AllocationError(f"job {job_id} not on node {self.node_id}")
         if self.partitioned:
             self._ledger.release(job_id)
+        self._used_cores -= self._residents[job_id].procs
         del self._residents[job_id]
+        self._booked_totals = None
+        self._arb_sig = None
 
     # -- performance-model views ----------------------------------------------
 
@@ -159,6 +193,42 @@ class NodeState:
         total = self.used_cores
         share = self._residents[job_id].procs / total
         return self.spec.llc_ways * share
+
+    def arb_signature(self) -> Tuple[tuple, Tuple[int, ...], tuple]:
+        """``(key, job_ids, programs)`` identifying this node's
+        arbitration inputs without materializing Slice objects.
+
+        The key is job-id-independent but *order-preserving* (resident
+        insertion order), and together with the cluster-wide knobs
+        (``partitioned``/``share_residual``/``enforce_bw``/spec) it
+        fully determines every slice's ``effective_ways``, ``bw_cap``,
+        and demand — so two nodes with equal keys get bit-identical
+        arbitration results.  Program identity is validated by the
+        caller against the returned ``programs`` refs (same stale-id
+        defence as :mod:`repro.perfmodel.memo`).  The tuple is cached
+        until place/remove invalidates it.
+        """
+        sig = self._arb_sig
+        if sig is None:
+            part = self.partitioned
+            enforce = self.enforce_bw
+            ledger = self._ledger
+            items = tuple(
+                (
+                    id(r.program), r.procs, r.n_nodes,
+                    ledger.dedicated(jid) if part else 0,
+                    r.booked_bw if enforce else -1.0,
+                )
+                for jid, r in self._residents.items()
+            )
+            key = (items, ledger.free_ways if part else self._used_cores)
+            sig = (
+                key,
+                tuple(self._residents.keys()),
+                tuple(r.program for r in self._residents.values()),
+            )
+            self._arb_sig = sig
+        return sig
 
     def slices(self) -> List[Slice]:
         """Current slices for the contention solver."""

@@ -24,7 +24,6 @@ from typing import Dict, List, Optional, Protocol, Sequence, Set
 from repro.config import SimConfig
 from repro.errors import SimulationError
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel.contention import arbitrate_node, node_network_load
 from repro.perfmodel.execution import NodeConditions, job_time, reference_time
 from repro.sim.cluster import ClusterState
 from repro.sim.engine import EventKind, EventQueue
@@ -68,6 +67,8 @@ class SimulationResult:
     jobs: List[Job]
     makespan: float
     telemetry: Optional[TelemetryRecorder]
+    #: Number of discrete events processed (benchmark metric).
+    events: int = 0
 
     @property
     def finished_jobs(self) -> List[Job]:
@@ -121,6 +122,11 @@ class Simulation:
             TelemetryRecorder(cluster_spec.num_nodes) if config.telemetry else None
         )
         self._spec = cluster_spec.node
+        # Incremental liveness state: counting running jobs here keeps
+        # _check_liveness O(1) instead of an O(total-jobs) scan at every
+        # scheduling point of a 7K-job trace replay.
+        self._running = 0
+        self._events_processed = 0
         for job in jobs:
             self.events.push_submit(job.submit_time, job.job_id)
 
@@ -135,6 +141,7 @@ class Simulation:
             event = self.events.pop()
             if event is None:
                 break
+            self._events_processed += 1
             now = self.events.now
             if now > self.config.max_sim_time:
                 raise SimulationError("simulation exceeded max_sim_time")
@@ -155,6 +162,7 @@ class Simulation:
             jobs=list(self.jobs.values()),
             makespan=makespan,
             telemetry=self.telemetry,
+            events=self._events_processed,
         )
 
     # ----------------------------------------------------------- internals
@@ -176,6 +184,7 @@ class Simulation:
         for nid in placement.node_ids:
             self.cluster.remove(nid, job.job_id)
         job.complete(now)
+        self._running -= 1
         self._refresh(affected, touched, now)
         # Completion hook: lets policies piggyback profiling on finished
         # runs (paper Section 4.4: exclusive runs refresh the database).
@@ -212,14 +221,14 @@ class Simulation:
                 * job.work_multiplier
             )
             job.begin(now, work, d.placement, d.scale_factor)
+            self._running += 1
             affected.add(job.job_id)
         self._refresh(affected, touched, now)
         self._check_liveness()
 
     def _check_liveness(self) -> None:
-        if self.pending and not any(
-            j.state is JobState.RUNNING for j in self.jobs.values()
-        ) and self.events.peek_time() is None:
+        if self.pending and self._running == 0 \
+                and self.events.peek_time() is None:
             raise SimulationError(
                 "scheduler placed nothing on an idle cluster with pending "
                 f"jobs {[j.job_id for j in self.pending[:5]]}"
@@ -243,21 +252,30 @@ class Simulation:
     def _refresh(self, job_ids: Set[int], touched_nodes: Set[int],
                  now: float) -> None:
         """Recompute speeds and finish events for the given jobs, and
-        record telemetry for every node whose conditions changed."""
-        # Every node any affected job touches needs a fresh arbitration.
-        nodes_needed: Set[int] = set(touched_nodes)
+        record telemetry for every node whose conditions changed.
+
+        Arbitration comes from :meth:`ClusterState.arbitration`: nodes
+        whose slice set changed (place/remove evicted their cache entry)
+        are re-solved; the untouched nodes of wide affected jobs are
+        read back from the cache.
+        """
+        # Every node any affected job spans needs current arbitration;
+        # touched nodes that no running job reads (e.g. nodes an exclusive
+        # job just vacated) only matter to telemetry.
+        nodes_needed: Set[int] = set()
         for jid in job_ids:
             job = self.jobs[jid]
             if job.state is JobState.RUNNING and job.placement is not None:
                 nodes_needed.update(job.placement.node_ids)
-        grants: Dict[int, Dict[int, float]] = {}
-        net_loads: Dict[int, float] = {}
-        for nid in nodes_needed:
-            node = self.cluster.node(nid)
-            slices = node.slices()
-            grants[nid] = arbitrate_node(node.spec, slices)
-            net_loads[nid] = node_network_load(node.spec, slices)
+        if self.telemetry is not None:
+            nodes_needed.update(touched_nodes)
+        views = {nid: self.cluster.arbitration(nid) for nid in nodes_needed}
 
+        # Nodes carrying identical slices yield identical conditions;
+        # interning them keeps wide jobs from re-validating thousands of
+        # equal NodeConditions (job_time dedupes on the same identity).
+        interned: Dict[tuple, NodeConditions] = {}
+        cache = self._spec.cache
         for jid in job_ids:
             job = self.jobs[jid]
             if job.state is not JobState.RUNNING:
@@ -266,16 +284,17 @@ class Simulation:
             assert placement is not None
             conditions = []
             for nid in placement.node_ids:
-                node = self.cluster.node(nid)
+                grants, net_load, eff_ways = views[nid]
                 procs = placement.procs_per_node[nid]
-                eff_ways = node.effective_ways(jid)
-                cap = node.spec.cache.ways_to_mb(eff_ways) / procs
-                conditions.append(
-                    NodeConditions(
-                        procs, cap, grants[nid][jid],
-                        net_load=net_loads[nid],
+                key = (procs, eff_ways[jid], grants[jid], net_load)
+                cond = interned.get(key)
+                if cond is None:
+                    cap = cache.ways_to_mb(eff_ways[jid]) / procs
+                    cond = NodeConditions(
+                        procs, cap, grants[jid], net_load=net_load
                     )
-                )
+                    interned[key] = cond
+                conditions.append(cond)
             t_now = job_time(job.program, job.procs, conditions, self._spec)
             t_ref = reference_time(job.program, job.procs, self._spec)
             job.set_speed(t_ref / t_now)
@@ -284,6 +303,6 @@ class Simulation:
         if self.telemetry is not None:
             for nid in touched_nodes:
                 self.telemetry.record(
-                    nid, now, sum(grants[nid].values()),
+                    nid, now, sum(views[nid][0].values()),
                     cores=self.cluster.node(nid).used_cores,
                 )

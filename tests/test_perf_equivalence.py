@@ -1,0 +1,214 @@
+"""The perf fast paths must be invisible: memoized and cache-disabled
+runs produce bit-identical results, caches evict on mutation, and the
+process-parallel grid matches the serial one (DESIGN.md, "Performance
+architecture")."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SimConfig
+from repro.experiments.ablations import run_ablation
+from repro.experiments.common import run_all_policies
+from repro.experiments.fig14_throughput import run_fig14
+from repro.experiments.fig20_large_cluster import run_fig20
+from repro.experiments.parallel import grid_map, resolve_jobs
+from repro.hardware.topology import ClusterSpec
+from repro.perfmodel import memo
+from repro.sim.cluster import ClusterState
+from repro.workloads.sequences import random_sequence
+from repro.workloads.trace import SyntheticTraceConfig, synthesize_trace
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    memo.clear_caches()
+    yield
+    memo.clear_caches()
+
+
+def _run_sequence_all_policies(seed: int):
+    cluster = ClusterSpec(num_nodes=8)
+    jobs = random_sequence(seed=seed, n_jobs=14)
+    runs = run_all_policies(
+        cluster, jobs, sim_config=SimConfig(telemetry=False)
+    )
+    return {
+        policy: (
+            result.makespan,
+            result.mean_turnaround(),
+            sorted((j.job_id, j.start_time, j.finish_time)
+                   for j in result.finished_jobs),
+        )
+        for policy, result in runs.items()
+    }
+
+
+class TestMemoizedEquivalence:
+    """Cached vs cache-disabled runs are bit-identical."""
+
+    @pytest.mark.parametrize("seed", [3, 2019])
+    def test_fig14_style_sequences(self, seed):
+        fast = _run_sequence_all_policies(seed)
+        memo.clear_caches()
+        with memo.caches_disabled():
+            reference = _run_sequence_all_policies(seed)
+        assert fast == reference
+
+    def test_fig20_smoke_point(self):
+        config = SyntheticTraceConfig(
+            n_jobs=150, duration_hours=40, max_width_nodes=128
+        )
+        jobs = synthesize_trace(seed=42, scaling_ratio=0.9, config=config)
+        cluster = ClusterSpec(num_nodes=512)
+
+        def replay():
+            runs = run_all_policies(
+                cluster, jobs, policy_names=("CE", "SNS"),
+                sim_config=SimConfig(telemetry=False, max_sim_time=1e12),
+            )
+            return {
+                p: (r.makespan, r.mean_turnaround()) for p, r in runs.items()
+            }
+
+        fast = replay()
+        memo.clear_caches()
+        with memo.caches_disabled():
+            reference = replay()
+        assert fast == reference
+
+    def test_disabled_context_restores_flag(self):
+        assert memo.caches_enabled()
+        with memo.caches_disabled():
+            assert not memo.caches_enabled()
+        assert memo.caches_enabled()
+
+    def test_stats_report_hits(self):
+        _run_sequence_all_policies(7)
+        stats = memo.cache_stats()
+        assert stats["demand"]["hits"] > 0
+        assert stats["rate"]["hits"] > 0
+
+
+class TestArbitrationCacheInvalidation:
+    """place/remove must evict the per-node arbitration entry."""
+
+    @pytest.fixture
+    def cluster(self, program):
+        state = ClusterState(ClusterSpec(num_nodes=4))
+        self.program = program
+        return state
+
+    @pytest.fixture
+    def program(self):
+        from repro.apps.catalog import get_program
+        return get_program("MG")
+
+    def _place(self, cluster, node_id, job_id, procs=4):
+        cluster.place(
+            node_id, job_id, self.program, procs,
+            cluster.spec.node.cache.min_ways, 10.0, 1,
+        )
+
+    def test_place_evicts_and_recomputes(self, cluster):
+        self._place(cluster, 0, 1)
+        grants1, _, eff1 = cluster.arbitration(0)
+        assert set(grants1) == {1}
+        # Cached: same object back while the node is untouched.
+        assert cluster.arbitration(0) is cluster.arbitration(0)
+        self._place(cluster, 0, 2)
+        grants2, _, eff2 = cluster.arbitration(0)
+        assert set(grants2) == {1, 2}
+        # Job 1's effective ways shrank when job 2 claimed dedicated ways.
+        assert eff2[1] < eff1[1]
+
+    def test_remove_evicts(self, cluster):
+        self._place(cluster, 0, 1)
+        self._place(cluster, 0, 2)
+        before = cluster.arbitration(0)
+        cluster.remove(0, 2)
+        after = cluster.arbitration(0)
+        assert after is not before
+        assert set(after[0]) == {1}
+
+    def test_views_match_reference_after_churn(self, cluster):
+        self._place(cluster, 0, 1)
+        self._place(cluster, 0, 2)
+        cluster.remove(0, 1)
+        self._place(cluster, 0, 3, procs=2)
+        cached = cluster.arbitration(0)
+        with memo.caches_disabled():
+            reference = cluster.arbitration(0)
+        assert cached == reference
+
+    def test_counters_consistent_with_fresh_sums(self, cluster):
+        self._place(cluster, 1, 1)
+        self._place(cluster, 1, 2, procs=6)
+        cluster.remove(1, 1)
+        node = cluster.node(1)
+        residents = node._residents
+        assert node.used_cores == sum(r.procs for r in residents.values())
+        assert node.booked_bw == sum(r.booked_bw for r in residents.values())
+        assert node.booked_net == sum(
+            r.booked_net for r in residents.values()
+        )
+        cluster.verify_index()
+
+
+class TestParallelGrid:
+    """grid_map fans out deterministically and falls back serially."""
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) >= 1
+        assert resolve_jobs(-1) >= 1
+
+    def test_results_in_task_order(self):
+        assert grid_map(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+
+    def test_serial_path_identical(self):
+        tasks = list(range(5))
+        assert grid_map(_square, tasks) == [_square(t) for t in tasks]
+
+    def test_worker_exception_propagates(self):
+        with pytest.raises(ValueError):
+            grid_map(_explode, [1, 2], jobs=2)
+        with pytest.raises(ValueError):
+            grid_map(_explode, [1, 2])
+
+    def test_fig14_parallel_matches_serial(self):
+        serial = run_fig14(n_sequences=2)
+        parallel = run_fig14(n_sequences=2, jobs=2)
+        assert [o.throughput for o in serial.outcomes] == \
+               [o.throughput for o in parallel.outcomes]
+        assert [o.scaling_ratio for o in serial.outcomes] == \
+               [o.scaling_ratio for o in parallel.outcomes]
+
+    def test_ablation_parallel_matches_serial(self):
+        variants = None  # default set
+        serial = run_ablation(n_sequences=2, variants=variants)
+        parallel = run_ablation(n_sequences=2, variants=variants, jobs=2)
+        assert serial.outcomes == parallel.outcomes
+
+    def test_fig20_parallel_matches_serial(self):
+        config = SyntheticTraceConfig(
+            n_jobs=100, duration_hours=40, max_width_nodes=64
+        )
+        serial = run_fig20(
+            cluster_sizes=(256,), scaling_ratios=(0.9,), trace_config=config
+        )
+        parallel = run_fig20(
+            cluster_sizes=(256,), scaling_ratios=(0.9,), trace_config=config,
+            jobs=2,
+        )
+        assert serial.points == parallel.points
+
+
+def _square(x):
+    return x * x
+
+
+def _explode(x):
+    raise ValueError(f"boom {x}")

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Wall-clock benchmark of the Fig 20 smoke grid.
+
+Times the fixed smoke-trace grid — 2 scaling ratios x 2 cluster sizes x
+{CE, SNS} on ``smoke_trace_config()`` — and writes/merges the numbers
+into ``BENCH_sim.json`` at the repo root, so perf regressions in the
+event loop show up as numbers, not vibes:
+
+    PYTHONPATH=src python tools/bench_report.py [--label after]
+    PYTHONPATH=src python tools/bench_report.py --no-caches --label ref
+
+Each entry records per-configuration wall seconds, simulated events,
+and events/second, plus the grid total.  Existing entries under other
+labels are preserved, so a before/after pair can live side by side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.config import SimConfig                      # noqa: E402
+from repro.experiments.common import run_all_policies   # noqa: E402
+from repro.experiments.fig20_large_cluster import (     # noqa: E402
+    smoke_trace_config,
+)
+from repro.hardware.topology import ClusterSpec         # noqa: E402
+from repro.perfmodel import memo                        # noqa: E402
+from repro.workloads.trace import synthesize_trace      # noqa: E402
+
+#: The benchmark grid (fixed: changing it would break comparability).
+RATIOS = (0.9, 0.5)
+SIZES = (4096, 8192)
+POLICIES = ("CE", "SNS")
+SEED = 42
+
+
+def run_grid(verbose: bool = True) -> dict:
+    """Run the smoke grid once; returns the BENCH_sim entry payload."""
+    trace_config = smoke_trace_config()
+    configs = []
+    total_wall = 0.0
+    total_events = 0
+    for ratio in RATIOS:
+        jobs = synthesize_trace(seed=SEED, scaling_ratio=ratio,
+                                config=trace_config)
+        for nodes in SIZES:
+            for policy in POLICIES:
+                memo.clear_caches()
+                cluster = ClusterSpec(num_nodes=nodes)
+                start = time.perf_counter()
+                runs = run_all_policies(
+                    cluster, jobs, policy_names=(policy,),
+                    sim_config=SimConfig(telemetry=False, max_sim_time=1e12),
+                )
+                wall = time.perf_counter() - start
+                result = runs[policy]
+                total_wall += wall
+                total_events += result.events
+                configs.append({
+                    "policy": policy,
+                    "nodes": nodes,
+                    "ratio": ratio,
+                    "wall_s": round(wall, 4),
+                    "events": result.events,
+                    "events_per_s": round(result.events / wall, 1),
+                    "makespan": result.makespan,
+                    "mean_turnaround": result.mean_turnaround(),
+                })
+                if verbose:
+                    print(f"  {policy:3s} {nodes:5d} nodes ratio {ratio}: "
+                          f"{wall:6.2f}s  {result.events} events")
+    return {
+        "grid": "fig20-smoke 2x2x2",
+        "caches": memo.caches_enabled(),
+        "total_wall_s": round(total_wall, 4),
+        "total_events": total_events,
+        "events_per_s": round(total_events / total_wall, 1),
+        "configs": configs,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--label", default="current",
+                        help="entry name in BENCH_sim.json (default: current)")
+    parser.add_argument("--no-caches", action="store_true",
+                        help="benchmark the unmemoized reference path")
+    parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_sim.json"))
+    args = parser.parse_args(argv)
+
+    if args.no_caches:
+        memo.set_caches_enabled(False)
+    print(f"benchmarking fig20 smoke grid "
+          f"(caches {'on' if memo.caches_enabled() else 'off'}) ...")
+    entry = run_grid()
+    print(f"total: {entry['total_wall_s']:.2f}s, "
+          f"{entry['events_per_s']:.0f} events/s")
+
+    path = Path(args.output)
+    report = {}
+    if path.exists():
+        report = json.loads(path.read_text())
+    report[args.label] = entry
+    baselines = [
+        (label, e["total_wall_s"]) for label, e in report.items()
+        if label != args.label
+    ]
+    for label, wall in baselines:
+        print(f"vs {label}: {wall / entry['total_wall_s']:.2f}x")
+    path.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
