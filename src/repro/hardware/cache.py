@@ -54,7 +54,7 @@ class CacheModel:
         return ways * self.mb_per_way()
 
 
-@dataclass
+@dataclass(slots=True)
 class WayLedger:
     """Per-node CAT allocation ledger.
 

@@ -6,6 +6,7 @@ and profiler observe: per-job execution speed, per-node DRAM bandwidth,
 IPC, and communication share.
 """
 
+from repro.perfmodel.batch import arbitrate_nodes
 from repro.perfmodel.contention import Slice, arbitrate_node, node_bandwidth_usage
 from repro.perfmodel.execution import (
     NodeConditions,
@@ -19,6 +20,7 @@ from repro.perfmodel.execution import (
 __all__ = [
     "Slice",
     "arbitrate_node",
+    "arbitrate_nodes",
     "node_bandwidth_usage",
     "NodeConditions",
     "job_time",

@@ -121,6 +121,12 @@ def node_bandwidth_usage(spec: NodeSpec, slices: Sequence[Slice]) -> float:
     behind the paper's Figs 17/18 heat maps.
 
     Achieved equals granted: an uncontended job draws exactly its demand,
-    a contended one draws its proportional share.
+    a contended one draws its proportional share.  Grants come from the
+    memoized arbitration kernel (bit-identical to re-arbitrating from
+    scratch; the cached grants are stored in slice order, so the sum
+    adds in the same order as the reference).
     """
-    return sum(arbitrate_node(spec, slices).values())
+    from repro.perfmodel import memo
+
+    grants, _ = memo.node_arbitration(spec, slices)
+    return sum(grants.values())

@@ -4,7 +4,7 @@ The trace replays of Fig 20 arbitrate bandwidth on thousands of nodes at
 every scheduling point, but large clusters carry massive redundancy: a
 32K-node replay typically has only a handful of *distinct* per-node job
 mixes alive at any instant.  This module exploits that redundancy with
-three caches:
+a family of exact caches:
 
 * **demand curves** — ``ProgramSpec.demand_gbps_per_proc`` evaluations,
   keyed by (program, capacity, footprint, core peak);
@@ -16,7 +16,12 @@ three caches:
   *slice signature*: the sorted tuple of job-id-independent
   ``(program, procs, effective_ways, n_nodes, bw_cap)`` per slice.
   Grants are stored positionally in signature order and mapped back to
-  the querying node's actual job ids.
+  the querying node's actual job ids;
+* **network fractions / bandwidth supply** — the scalar curve
+  evaluations feeding arbitration (``comm.network_fraction`` per
+  (program, footprint) and ``bandwidth.aggregate`` per active-core
+  count), shared with the batched kernel in
+  :mod:`repro.perfmodel.batch`.
 
 Programs are keyed by identity (``id``); every cache entry keeps a
 strong reference to the program objects it was computed from and
@@ -53,8 +58,15 @@ _demand_cache: Dict[tuple, tuple] = {}
 _rate_cache: Dict[tuple, tuple] = {}
 # (id(spec), signature) -> (spec, programs, grants, net_load)
 _node_cache: Dict[tuple, tuple] = {}
+# (id(program), n_nodes) -> (program, network fraction)
+_net_cache: Dict[tuple, tuple] = {}
+# (id(spec), total_procs) -> (spec, aggregate supply GB/s)
+_supply_cache: Dict[tuple, tuple] = {}
 
-_stats = {"demand": [0, 0], "rate": [0, 0], "node": [0, 0]}  # [hits, misses]
+_stats = {
+    "demand": [0, 0], "rate": [0, 0], "node": [0, 0],
+    "net": [0, 0], "supply": [0, 0],
+}  # [hits, misses]
 
 
 def caches_enabled() -> bool:
@@ -73,6 +85,8 @@ def clear_caches() -> None:
     _demand_cache.clear()
     _rate_cache.clear()
     _node_cache.clear()
+    _net_cache.clear()
+    _supply_cache.clear()
     for counters in _stats.values():
         counters[0] = counters[1] = 0
 
@@ -94,11 +108,23 @@ def cache_stats() -> Dict[str, Dict[str, int]]:
         "demand": len(_demand_cache),
         "rate": len(_rate_cache),
         "node": len(_node_cache),
+        "net": len(_net_cache),
+        "supply": len(_supply_cache),
     }
     return {
         name: {"hits": h, "misses": m, "size": sizes[name]}
         for name, (h, m) in _stats.items()
     }
+
+
+def stats_snapshot() -> Dict[str, int]:
+    """Flat copy of the hit/miss counters, suitable for delta-ing around
+    a simulation run (``SimulationResult.counters``)."""
+    out: Dict[str, int] = {}
+    for name, (hits, misses) in _stats.items():
+        out[f"memo_{name}_hits"] = hits
+        out[f"memo_{name}_misses"] = misses
+    return out
 
 
 # -- kernel wrappers ----------------------------------------------------------
@@ -207,3 +233,40 @@ def node_arbitration(
     _node_cache[key] = entry
     _stats["node"][1] += 1
     return grants, net_load
+
+
+def network_fraction(program, n_nodes: int) -> float:
+    """Memoized ``program.comm.network_fraction`` evaluation (the value
+    behind :func:`node_network_load`)."""
+    if not _enabled:
+        return program.comm.network_fraction(n_nodes)
+    key = (id(program), n_nodes)
+    hit = _net_cache.get(key)
+    if hit is not None and hit[0] is program:
+        _stats["net"][0] += 1
+        return hit[1]
+    value = program.comm.network_fraction(n_nodes)
+    if len(_net_cache) >= MAX_ENTRIES:
+        _net_cache.clear()
+    _net_cache[key] = (program, value)
+    _stats["net"][1] += 1
+    return value
+
+
+def bandwidth_supply(spec: NodeSpec, total_procs: int) -> float:
+    """Memoized ``spec.bandwidth.aggregate(total_procs)`` — the node's
+    saturating DRAM supply is a pure function of the active core count,
+    and arbitration evaluates it for every dirty node of every refresh."""
+    if not _enabled:
+        return spec.bandwidth.aggregate(total_procs)
+    key = (id(spec), total_procs)
+    hit = _supply_cache.get(key)
+    if hit is not None and hit[0] is spec:
+        _stats["supply"][0] += 1
+        return hit[1]
+    value = spec.bandwidth.aggregate(total_procs)
+    if len(_supply_cache) >= MAX_ENTRIES:
+        _supply_cache.clear()
+    _supply_cache[key] = (spec, value)
+    _stats["supply"][1] += 1
+    return value

@@ -51,6 +51,11 @@ class OnlineProfileStore:
     min_cores_per_node: int = 2
     max_degradation: float = 0.25
     _state: Dict[Tuple[str, int], _Exploration] = field(default_factory=dict)
+    #: Mutation counter: bumped whenever a trial begins, aborts, or is
+    #: recorded — i.e. whenever a query above could start answering
+    #: differently.  The scheduler's demand cache and skip index key on
+    #: it to invalidate state derived from stale profiles.
+    version: int = field(default=0)
 
     # -- exploration ----------------------------------------------------------
 
@@ -104,10 +109,12 @@ class OnlineProfileStore:
                 f"{program.name}@{procs}: trial already in flight"
             )
         entry.pending_scale = scale
+        self.version += 1
 
     def abort_trial(self, program: ProgramSpec, procs: int) -> None:
         """Forget an in-flight trial (job failed or was re-planned)."""
         self._entry(program, procs).pending_scale = None
+        self.version += 1
 
     def record_trial(
         self,
@@ -131,6 +138,7 @@ class OnlineProfileStore:
                 f"pending is {entry.pending_scale}"
             )
         entry.pending_scale = None
+        self.version += 1
         base = self.spec.min_nodes_for(procs)
         n_nodes = scale * base
         curves = sample_llc_curves(program, procs, n_nodes, self.spec)

@@ -41,6 +41,9 @@ class CompactExclusiveBackfillScheduler(BaseScheduler):
     def __init__(self, *args, **kwargs) -> None:
         super().__init__(*args, **kwargs)
         self._running: Dict[int, _Running] = {}
+        # A job's footprint depends only on (program, procs) and is
+        # queried several times per scheduling point; memoize it.
+        self._footprints: Dict[Tuple[int, int], Tuple[object, Optional[int]]] = {}
 
     # -- bookkeeping -------------------------------------------------------
 
@@ -55,8 +58,14 @@ class CompactExclusiveBackfillScheduler(BaseScheduler):
     # -- placement helpers -----------------------------------------------------
 
     def _footprint(self, job: Job) -> Optional[int]:
+        key = (id(job.program), job.procs)
+        hit = self._footprints.get(key)
+        if hit is not None and hit[0] is job.program:
+            return hit[1]
         n = self._base_nodes(job)
-        return n if self._valid_footprint(job, n) else None
+        value = n if self._valid_footprint(job, n) else None
+        self._footprints[key] = (job.program, value)
+        return value
 
     def _start(self, cluster: ClusterState, job: Job, now: float,
                n_nodes: int) -> Decision:

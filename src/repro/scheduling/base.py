@@ -16,6 +16,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config import SchedulerConfig
 from repro.errors import SchedulingError
 from repro.hardware.topology import ClusterSpec
+from repro.perfmodel import memo
 from repro.sim.cluster import ClusterState
 from repro.sim.job import Job, Placement
 from repro.sim.runtime import Decision
@@ -35,6 +36,29 @@ class BaseScheduler(abc.ABC):
         # meaningful for partitioned (SNS-family) policies.
         self.enforce_bw = config.enforce_bw and self.partitioned
         self.share_residual = config.share_residual
+        # Pending-queue skip index: a job that failed to place is
+        # remembered with (release epoch, feasibility version) and the
+        # minimum per-node free cores any of its candidate placements
+        # needs.  Placements only consume resources, so while no slice
+        # has been removed (same epoch) — or while no node has enough
+        # free cores for even the job's cheapest shape — re-running
+        # _try_place must fail again and is skipped.  See DESIGN.md §7.
+        self._skip: Dict[int, Tuple[Tuple[int, int], Optional[int]]] = {}
+        self._skip_cluster: Optional[ClusterState] = None
+        self._fail_watermark: Optional[int] = None
+        #: Queue instrumentation, surfaced on SimulationResult.
+        self.counters: Dict[str, int] = {
+            "try_place_calls": 0,
+            "jobs_skipped": 0,
+            "demand_cache_hits": 0,
+        }
+
+    def _feasibility_version(self) -> int:
+        """Version of policy-internal state that can flip a pending
+        job's feasibility without any cluster release (the online
+        profile store).  Skip-index entries recorded under a different
+        version are ignored."""
+        return 0
 
     # -- queue mechanics ------------------------------------------------------
 
@@ -51,11 +75,48 @@ class BaseScheduler(abc.ABC):
         queue = self._priority_queue(pending)
         decisions: List[Decision] = []
         skipped: List[Job] = []
+        use_skip = memo.caches_enabled()
+        if use_skip:
+            if self._skip_cluster is not cluster:
+                # A policy object reused against a fresh cluster must not
+                # honor records from the previous simulation.
+                self._skip.clear()
+                self._skip_cluster = cluster
+            epoch = cluster.release_epoch
+            max_free = cluster.max_free_cores()
         for job in queue:
+            if use_skip:
+                record = self._skip.get(job.job_id)
+                if record is not None:
+                    # The feasibility version is re-read per job: a trial
+                    # placement earlier in this same point can bump it.
+                    (r_epoch, r_version), c_min = record
+                    if r_version == self._feasibility_version() and (
+                        r_epoch == epoch
+                        or (c_min is not None and max_free < c_min)
+                    ):
+                        # Nothing was released since the recorded failure
+                        # (or cluster headroom is still below the job's
+                        # cheapest shape): _try_place must fail again.
+                        # The job still ages and still blocks the queue,
+                        # exactly as the re-run failure would.
+                        self.counters["jobs_skipped"] += 1
+                        skipped.append(job)
+                        if job.times_passed_over >= self.config.age_limit:
+                            break
+                        continue
+            self.counters["try_place_calls"] += 1
+            self._fail_watermark = None
             decision = self._try_place(cluster, job, now)
             if decision is not None:
+                self._skip.pop(job.job_id, None)
                 decisions.append(decision)
                 continue
+            if use_skip:
+                self._skip[job.job_id] = (
+                    (epoch, self._feasibility_version()),
+                    self._fail_watermark,
+                )
             skipped.append(job)
             if job.times_passed_over >= self.config.age_limit:
                 # Aged job blocks the queue (anti-starvation): nothing

@@ -57,6 +57,12 @@ class OnlineSpreadNShareScheduler(SpreadNShareScheduler):
     def _get_profile(self, job: Job):
         return self.store.profile(job.program, job.procs)
 
+    def _feasibility_version(self) -> int:
+        # A begin/abort/record on the store can flip a pending job's
+        # branch in _try_place without any cluster release, so skip-index
+        # records and demand-cache entries must not outlive it.
+        return self.store.version
+
     # -- placement -------------------------------------------------------------
 
     def _try_place(
@@ -84,6 +90,9 @@ class OnlineSpreadNShareScheduler(SpreadNShareScheduler):
         """Place the job on fully idle nodes, booking the whole LLC and
         bandwidth so nothing co-locates (exclusive profiling run)."""
         spec = self.cluster_spec.node
+        # Exclusive runs need fully idle nodes: until one frees up, the
+        # skip index can pass this job over.
+        self._fail_watermark = spec.cores
         n_nodes = scale * self._base_nodes(job)
         if not self._valid_footprint(job, n_nodes):
             return None

@@ -15,6 +15,7 @@ import heapq
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SchedulingError
+from repro.perfmodel import memo
 from repro.sim.cluster import ClusterState
 
 
@@ -54,9 +55,32 @@ def find_nodes(
 
     total_cores = cluster.spec.node.cores
 
+    # Negative search cache: failure here means fewer than n_nodes
+    # cluster-wide can host the demand, which placements (pure
+    # consumption) cannot undo — so a failed demand tuple keeps failing
+    # until the next slice *removal*.  Congested replays retry
+    # near-identical demands (same program + process count) across many
+    # queued jobs, so this short-circuits whole bucket sweeps.
+    failed = None
+    if memo.caches_enabled():
+        epoch = cluster.release_epoch
+        cache_epoch, failed = cluster.find_fail
+        if cache_epoch != epoch:
+            failed = set()
+            cluster.find_fail = (epoch, failed)
+        key = (n_nodes, cores, ways, bw, net, beta)
+        if key in failed:
+            cluster.counters["find_fail_hits"] += 1
+            return None
+
+    def fail() -> None:
+        if failed is not None:
+            failed.add(key)
+
     # Fast fail on congested clusters: the core dimension alone rules the
     # request out without touching any node.
     if cluster.count_with_free_cores(cores) < n_nodes:
+        fail()
         return None
 
     # Bound per-call work on huge clusters: scanning a few hundred
@@ -64,8 +88,9 @@ def find_nodes(
     # tens of thousands of part-full nodes would dominate runtime.
     scan_cap = max(256, 4 * n_nodes)
 
-    def qualify(ids: Sequence[int]) -> List[int]:
-        return cluster.scan_hosts(ids, cores, ways, bw, net, scan_cap)
+    def qualify(ids: Sequence[int], bucket: int) -> List[int]:
+        return cluster.scan_hosts(ids, cores, ways, bw, net, scan_cap,
+                                  bucket=bucket)
 
     nodes = cluster.nodes
 
@@ -77,6 +102,8 @@ def find_nodes(
     def pick(ids: List[int]) -> List[int]:
         if len(ids) <= n_nodes:
             return ids
+        if memo.caches_enabled():
+            return cluster.pick_idlest(ids, n_nodes, beta)
         return heapq.nsmallest(n_nodes, ids, key=metric_key)
 
     buckets = cluster.free_core_buckets()
@@ -96,7 +123,7 @@ def find_nodes(
                 if cluster.node(next(iter(ids))).can_host(cores, ways, bw, net):
                     return [nid for nid, _ in zip(it, range(n_nodes))]
             continue
-        qualified = qualify(ids)
+        qualified = qualify(ids, free)
         if len(qualified) >= n_nodes:
             return pick(qualified)
     # No single group suffices: search the whole cluster.  (The fully
@@ -109,9 +136,10 @@ def find_nodes(
             if ids and cluster.node(next(iter(ids))).can_host(cores, ways, bw, net):
                 whole.extend(ids)
         else:
-            whole.extend(qualify(ids))
+            whole.extend(qualify(ids, free))
         if len(whole) >= scan_cap:
             break
     if len(whole) >= n_nodes:
         return pick(whole)
+    fail()
     return None

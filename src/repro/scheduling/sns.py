@@ -13,18 +13,23 @@ If no scale fits, the job is delayed under the aging policy.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Tuple
 
 from repro.config import SchedulerConfig
 from repro.errors import ProfileError
 from repro.hardware.topology import ClusterSpec
+from repro.perfmodel import memo
 from repro.profiling.database import ProfileDatabase
 from repro.scheduling.base import BaseScheduler
-from repro.scheduling.demand import estimate_demand
+from repro.scheduling.demand import ResourceDemand, estimate_demand
 from repro.scheduling.placement import find_nodes, split_procs
 from repro.sim.cluster import ClusterState
 from repro.sim.job import Job
 from repro.sim.runtime import Decision
+
+#: Ordered (scale factor, demand) candidates of one (program, procs,
+#: alpha) triple, or None when the profile lookup failed.
+_Candidates = Optional[Tuple[Tuple[int, ResourceDemand], ...]]
 
 
 class SpreadNShareScheduler(BaseScheduler):
@@ -40,6 +45,14 @@ class SpreadNShareScheduler(BaseScheduler):
     ) -> None:
         super().__init__(cluster_spec, config)
         self.database = database if database is not None else ProfileDatabase()
+        # Demand estimation is a pure function of (program, procs,
+        # alpha) plus the profile behind it, yet the scheduler used to
+        # re-walk the profile curves for every candidate scale of every
+        # pending job at every scheduling point.  The whole ordered
+        # candidate list is cached per triple; the feasibility version
+        # (the online store's mutation counter) invalidates entries when
+        # a recorded trial changes the profile.
+        self._demand_cache: Dict[tuple, Tuple[object, _Candidates]] = {}
 
     def _get_profile(self, job: Job):
         """Profile lookup; the online variant overrides this to consult
@@ -50,19 +63,31 @@ class SpreadNShareScheduler(BaseScheduler):
             candidate_scales=self.config.candidate_scales,
         )
 
-    def _try_place(
-        self, cluster: ClusterState, job: Job, now: float
-    ) -> Optional[Decision]:
+    def _scale_candidates(self, job: Job, alpha: float) -> _Candidates:
+        """The job's ``(scale, demand)`` walk in preference order,
+        footprint-filtered, memoized per (program, procs, alpha)."""
+        if not memo.caches_enabled():
+            return self._compute_candidates(job, alpha)
+        key = (
+            id(job.program), job.procs, alpha, self._feasibility_version()
+        )
+        hit = self._demand_cache.get(key)
+        if hit is not None and hit[0] is job.program:
+            self.counters["demand_cache_hits"] += 1
+            return hit[1]
+        value = self._compute_candidates(job, alpha)
+        if len(self._demand_cache) >= memo.MAX_ENTRIES:
+            self._demand_cache.clear()
+        self._demand_cache[key] = (job.program, value)
+        return value
+
+    def _compute_candidates(self, job: Job, alpha: float) -> _Candidates:
         spec = self.cluster_spec.node
-        alpha = job.alpha if job.alpha is not None else self.config.default_alpha
         try:
             profile = self._get_profile(job)
         except ProfileError:
             return None
-
-        # Bandwidth headroom: booking beyond `headroom * peak` is refused.
-        slack = (1.0 - self.config.bw_headroom) * spec.peak_bw
-
+        candidates = []
         for k in profile.preferred_scale_order(self.config.scale_tolerance):
             scale_profile = profile.get(k)
             net_fraction = 0.0
@@ -77,6 +102,29 @@ class SpreadNShareScheduler(BaseScheduler):
             )
             if not self._valid_footprint(job, demand.n_nodes):
                 continue
+            candidates.append((k, demand))
+        return tuple(candidates)
+
+    def _try_place(
+        self, cluster: ClusterState, job: Job, now: float
+    ) -> Optional[Decision]:
+        spec = self.cluster_spec.node
+        alpha = job.alpha if job.alpha is not None else self.config.default_alpha
+        candidates = self._scale_candidates(job, alpha)
+        if not candidates:
+            return None
+
+        # Skip-index watermark: the cheapest per-node core demand of any
+        # candidate shape — if no node has that many free cores, every
+        # find_nodes below fails on the core dimension alone.
+        self._fail_watermark = min(
+            demand.cores_per_node for _, demand in candidates
+        )
+
+        # Bandwidth headroom: booking beyond `headroom * peak` is refused.
+        slack = (1.0 - self.config.bw_headroom) * spec.peak_bw
+
+        for k, demand in candidates:
             chosen = find_nodes(
                 cluster,
                 demand.n_nodes,

@@ -16,13 +16,18 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel import memo
+from repro.perfmodel import batch, memo
 from repro.perfmodel.contention import arbitrate_node, node_network_load
 from repro.sim.node import NodeState
 
-#: Cached per-node arbitration: (granted GB/s per job, network load,
-#: effective LLC ways per job).
-ArbitrationView = Tuple[Dict[int, float], float, Dict[int, float]]
+#: Cached per-node arbitration, stored positionally so signature-shared
+#: results fan out to sibling nodes as plain tuple packing: (resident job
+#: ids in insertion order, granted GB/s per job, network load, effective
+#: LLC ways per job).  Slices per node are few, so consumers look up one
+#: job via ``view[0].index(job_id)``.
+ArbitrationView = Tuple[
+    Tuple[int, ...], Tuple[float, ...], float, Tuple[float, ...]
+]
 
 
 @dataclass
@@ -48,6 +53,13 @@ class ClusterState:
     # sibling's result without rebuilding Slice objects.  Values store
     # grants/ways positionally plus the program refs for stale-id defence.
     _view_cache: Dict[tuple, tuple] = field(init=False)
+    #: Monotone counter bumped on every slice removal.  Placements only
+    #: consume capacity, so between two removals a job that failed to
+    #: place cannot become feasible — the schedulers' pending-queue skip
+    #: index keys off this epoch (DESIGN.md §7).
+    release_epoch: int = field(default=0, init=False)
+    #: Arbitration/scan instrumentation, surfaced on SimulationResult.
+    counters: Dict[str, int] = field(init=False)
 
     def __post_init__(self) -> None:
         self.nodes = [
@@ -65,6 +77,21 @@ class ClusterState:
         }
         self._arb_cache = {}
         self._view_cache = {}
+        self.counters = {
+            "arb_requests": 0,
+            "arb_cache_hits": 0,
+            "view_cache_hits": 0,
+            "arb_nodes_solved": 0,
+            "nodes_scanned": 0,
+            "find_fail_hits": 0,
+        }
+        # Negative placement-search cache: demand tuples find_nodes
+        # failed for at the given release epoch (see find_nodes —
+        # placements only consume, so a failure holds until a removal).
+        self.find_fail: Tuple[int, set] = (-1, set())
+        # Per-bucket node-id arrays for scan_hosts, invalidated when a
+        # node enters or leaves the bucket.
+        self._bucket_arrays: Dict[int, np.ndarray] = {}
         # Columnar mirror of each node's free capacities.  place/remove
         # only mark nodes dirty; scan_hosts() flushes the dirty set in one
         # batched fancy-indexed write before filtering whole buckets
@@ -76,43 +103,59 @@ class ClusterState:
         self._free_cores_a = np.full(n, node.cores, dtype=np.int64)
         self._free_ways_a = np.full(n, node.llc_ways, dtype=np.int64)
         self._parts_a = np.zeros(n, dtype=np.int64)
-        self._free_bw_a = np.full(n, node.peak_bw, dtype=np.float64)
-        self._free_net_a = np.ones(n, dtype=np.float64)
+        # The float columns store free capacity *plus* can_host's 1e-9
+        # comparison slack, so scans compare against the raw demand
+        # without a per-scan vector add.
+        self._bw_eps_a = np.full(n, node.peak_bw + 1e-9, dtype=np.float64)
+        self._net_eps_a = np.full(n, 1.0 + 1e-9, dtype=np.float64)
+        self._booked_bw_a = np.zeros(n, dtype=np.float64)
 
     # -- index maintenance -----------------------------------------------------
 
-    def _reindex(self, node: NodeState, old_free: int) -> None:
-        new_free = node.free_cores
+    def _reindex(self, node_id: int, old_free: int, new_free: int) -> None:
         if new_free == old_free:
             return
-        bucket = self._by_free_cores.get(old_free)
-        if bucket is None or node.node_id not in bucket:
-            raise SimulationError("free-core index out of sync")
-        del bucket[node.node_id]
+        buckets = self._by_free_cores
+        try:
+            bucket = buckets[old_free]
+            del bucket[node_id]
+        except KeyError:
+            raise SimulationError("free-core index out of sync") from None
         if not bucket:
-            del self._by_free_cores[old_free]
-        self._by_free_cores.setdefault(new_free, {})[node.node_id] = None
+            del buckets[old_free]
+        new_bucket = buckets.get(new_free)
+        if new_bucket is None:
+            buckets[new_free] = {node_id: None}
+        else:
+            new_bucket[node_id] = None
+        arrays = self._bucket_arrays
+        if arrays:
+            arrays.pop(old_free, None)
+            arrays.pop(new_free, None)
 
-    def place(self, node_id: int, *args, **kwargs) -> None:
+    def place(self, node_id: int, job_id: int, program, procs: int,
+              ways: int, bw: float, n_nodes: int, net: float = 0.0) -> None:
         """Place a job slice on a node, keeping the index consistent.
 
-        Arguments after ``node_id`` are forwarded to
-        :meth:`NodeState.place`.
+        Arguments after ``node_id`` mirror :meth:`NodeState.place`.
         """
         node = self.nodes[node_id]
-        old = node.free_cores
-        node.place(*args, **kwargs)
-        self._reindex(node, old)
+        cores = node.spec.cores
+        old = cores - node._used_cores
+        node.place(job_id, program, procs, ways, bw, n_nodes, net)
+        self._reindex(node_id, old, cores - node._used_cores)
         self._arb_cache.pop(node_id, None)
         self._dirty[node_id] = None
 
     def remove(self, node_id: int, job_id: int) -> None:
         node = self.nodes[node_id]
-        old = node.free_cores
+        cores = node.spec.cores
+        old = cores - node._used_cores
         node.remove(job_id)
-        self._reindex(node, old)
+        self._reindex(node_id, old, cores - node._used_cores)
         self._arb_cache.pop(node_id, None)
         self._dirty[node_id] = None
+        self.release_epoch += 1
 
     def _flush_arrays(self) -> None:
         dirty = self._dirty
@@ -120,12 +163,44 @@ class ClusterState:
             return
         nodes = self.nodes
         idx = np.fromiter(dirty, dtype=np.int64, count=len(dirty))
-        self._free_cores_a[idx] = [nodes[i].free_cores for i in dirty]
-        self._free_bw_a[idx] = [nodes[i].free_bw for i in dirty]
-        self._free_net_a[idx] = [nodes[i].free_net for i in dirty]
+        # One pass over the dirty nodes filling every column at once,
+        # reading node internals directly: five property descriptor calls
+        # per node dominated the flush on wide-job placements.
+        spec = self.spec.node
+        total_cores = spec.cores
+        peak_bw = spec.peak_bw
+        cores: List[int] = []
+        bw: List[float] = []
+        net: List[float] = []
+        booked: List[float] = []
         if self.partitioned:
-            self._free_ways_a[idx] = [nodes[i].free_ways for i in dirty]
-            self._parts_a[idx] = [nodes[i].cat_partitions for i in dirty]
+            total_ways = spec.cache.total_ways
+            ways: List[int] = []
+            parts: List[int] = []
+            for i in dirty:
+                node = nodes[i]
+                cores.append(total_cores - node._used_cores)
+                booked_bw, booked_net = node._booked()
+                booked.append(booked_bw)
+                bw.append((peak_bw - booked_bw) + 1e-9)
+                net.append((1.0 - booked_net) + 1e-9)
+                ledger = node._ledger
+                ways.append(total_ways - ledger._allocated)
+                parts.append(len(ledger._alloc))
+            self._free_ways_a[idx] = ways
+            self._parts_a[idx] = parts
+        else:
+            for i in dirty:
+                node = nodes[i]
+                cores.append(total_cores - node._used_cores)
+                booked_bw, booked_net = node._booked()
+                booked.append(booked_bw)
+                bw.append((peak_bw - booked_bw) + 1e-9)
+                net.append((1.0 - booked_net) + 1e-9)
+        self._free_cores_a[idx] = cores
+        self._bw_eps_a[idx] = bw
+        self._net_eps_a[idx] = net
+        self._booked_bw_a[idx] = booked
         dirty.clear()
 
     # -- queries -----------------------------------------------------------------
@@ -148,33 +223,71 @@ class ClusterState:
         return list(islice(bucket, n))
 
     def scan_hosts(self, ids: Iterable[int], cores: int, ways: int,
-                   bw: float, net: float, limit: int) -> List[int]:
+                   bw: float, net: float, limit: int,
+                   bucket: int = None) -> List[int]:
         """First ``limit`` node ids (scanned in the given order) that
         satisfy :meth:`NodeState.can_host` with these demands.
 
         Vectorized over the capacity arrays; condition-for-condition
-        identical to calling ``can_host`` per node.
+        identical to calling ``can_host`` per node.  When the caller
+        scans a whole free-core bucket it passes the bucket key so the
+        id array is reused until the bucket's membership changes.
         """
         self._flush_arrays()
-        count = len(ids) if hasattr(ids, "__len__") else -1
-        arr = np.fromiter(ids, dtype=np.int64, count=count)
+        arr = None
+        if bucket is not None and memo.caches_enabled():
+            arr = self._bucket_arrays.get(bucket)
+        if arr is None:
+            count = len(ids) if hasattr(ids, "__len__") else -1
+            arr = np.fromiter(ids, dtype=np.int64, count=count)
+            if bucket is not None:
+                self._bucket_arrays[bucket] = arr
         if arr.size == 0:
             return []
+        self.counters["nodes_scanned"] += int(arr.size)
         node = self.spec.node
         if self.partitioned and (
             ways < node.cache.min_ways or ways > node.llc_ways
         ):
             return []  # can_allocate() rejects on every node
-        ok = self._free_cores_a[arr] >= cores
+        if bucket is not None and bucket >= cores:
+            # Bucket invariant: every member has exactly ``bucket`` free
+            # cores, so the core comparison is a foregone conclusion.
+            ok = self._bw_eps_a[arr] >= bw
+        else:
+            ok = self._free_cores_a[arr] >= cores
+            ok &= self._bw_eps_a[arr] >= bw
         if self.partitioned:
             ok &= self._free_ways_a[arr] >= ways
             ok &= self._parts_a[arr] < node.cache.max_partitions
-        ok &= self._free_bw_a[arr] + 1e-9 >= bw
-        ok &= self._free_net_a[arr] + 1e-9 >= net
+        ok &= self._net_eps_a[arr] >= net
         hits = arr[ok]
         if hits.size > limit:
             hits = hits[:limit]
         return hits.tolist()
+
+    def pick_idlest(self, ids: List[int], n: int, beta: float) -> List[int]:
+        """The ``n`` ids with the lowest occupancy metric (ties broken by
+        node id), metric-ascending — matches ``heapq.nsmallest`` over
+        :meth:`NodeState.occupancy_metric` bit-for-bit: the metric is
+        evaluated with elementwise numpy arithmetic in the same operation
+        order as the scalar expression, and the used-core / allocated-way
+        operands are exact integer complements of the columnar free
+        counts."""
+        self._flush_arrays()
+        node = self.spec.node
+        arr = np.fromiter(ids, dtype=np.int64, count=len(ids))
+        co = (node.cores - self._free_cores_a[arr]) / node.cores
+        bo = np.minimum(1.0, self._booked_bw_a[arr] / node.peak_bw)
+        if self.partitioned:
+            wo = (node.llc_ways - self._free_ways_a[arr]) / node.llc_ways
+            metric = co + bo + beta * wo
+        else:
+            # Unpartitioned ledgers never allocate ways: Wo is 0.0 and
+            # adding beta * 0.0 is a bitwise no-op on the scalar path.
+            metric = co + bo
+        order = np.lexsort((arr, metric))[:n]
+        return arr[order].tolist()
 
     def groups_by_free_cores(self, min_free: int = 1) -> Dict[int, List[int]]:
         """Node groups keyed by free-core count (>= ``min_free`` only),
@@ -206,6 +319,14 @@ class ClusterState:
             if free >= min_free
         )
 
+    def max_free_cores(self) -> int:
+        """Largest free-core count of any node (O(buckets)).  This is
+        the cluster headroom watermark the schedulers' skip index
+        compares failed jobs against."""
+        # Every node sits in exactly one bucket and empty buckets are
+        # deleted, so the key set is never empty.
+        return max(self._by_free_cores)
+
     def total_free_cores(self) -> int:
         # O(buckets): every node sits in exactly one free-core bucket.
         return sum(
@@ -221,46 +342,128 @@ class ClusterState:
         """
         if not memo.caches_enabled():
             return self._arbitrate(node_id)
+        self.counters["arb_requests"] += 1
         view = self._arb_cache.get(node_id)
         if view is None:
             view = self._arbitrate(node_id)
             self._arb_cache[node_id] = view
+        else:
+            self.counters["arb_cache_hits"] += 1
         return view
+
+    def arbitration_batch(
+        self, node_ids: Iterable[int]
+    ) -> Dict[int, ArbitrationView]:
+        """Arbitration views for many nodes at once.
+
+        Per-node and cross-node cache hits are materialized first; the
+        residual cache misses — at most one representative per distinct
+        slice signature — are solved in a single call to the columnar
+        batched kernel (:func:`repro.perfmodel.batch.arbitrate_nodes`)
+        and fanned back out to every node sharing the signature.
+        Bit-identical to calling :meth:`arbitration` per node.
+        """
+        if not memo.caches_enabled():
+            return {nid: self._arbitrate(nid) for nid in node_ids}
+        requests = arb_hits = view_hits = 0
+        views: Dict[int, ArbitrationView] = {}
+        pending: List[Tuple[int, tuple, Tuple[int, ...]]] = []
+        solve_keys: Dict[tuple, int] = {}
+        solve_nodes: List[int] = []
+        nodes = self.nodes
+        arb_cache = self._arb_cache
+        view_cache = self._view_cache
+        # Sibling nodes (same signature AND same resident job ids — the
+        # slices of one wide job) receive the *same* view tuple, so
+        # downstream per-node loops can dedupe work on view identity.
+        packed: Dict[tuple, ArbitrationView] = {}
+        for nid in node_ids:
+            requests += 1
+            view = arb_cache.get(nid)
+            if view is not None:
+                arb_hits += 1
+                views[nid] = view
+                continue
+            node = nodes[nid]
+            if not node._residents:
+                views[nid] = arb_cache[nid] = ((), (), 0.0, ())
+                continue
+            key, jids, programs = node.arb_signature()
+            entry = view_cache.get(key)
+            if entry is not None and all(
+                p is q for p, q in zip(entry[0], programs)
+            ):
+                view_hits += 1
+                pk = (id(entry), jids)
+                full = packed.get(pk)
+                if full is None:
+                    full = (jids, entry[1], entry[2], entry[3])
+                    packed[pk] = full
+                views[nid] = arb_cache[nid] = full
+                continue
+            pending.append((nid, key, jids))
+            if key not in solve_keys:
+                solve_keys[key] = len(solve_nodes)
+                solve_nodes.append(nid)
+        counters = self.counters
+        counters["arb_requests"] += requests
+        counters["arb_cache_hits"] += arb_hits
+        counters["view_cache_hits"] += view_hits
+        if pending:
+            tables = [nodes[nid].slices() for nid in solve_nodes]
+            solved = batch.arbitrate_nodes(self.spec.node, tables)
+            counters["arb_nodes_solved"] += len(solve_nodes)
+            fresh: Dict[tuple, tuple] = {}
+            for (key, index) in solve_keys.items():
+                slices = tables[index]
+                grants, net_load = solved[index]
+                fresh[key] = (
+                    tuple(s.program for s in slices),
+                    tuple(grants[s.job_id] for s in slices),
+                    net_load,
+                    tuple(s.effective_ways for s in slices),
+                )
+            if len(view_cache) >= memo.MAX_ENTRIES:
+                view_cache.clear()
+            view_cache.update(fresh)
+            for nid, key, jids in pending:
+                entry = fresh[key]
+                pk = (id(entry), jids)
+                full = packed.get(pk)
+                if full is None:
+                    full = (jids, entry[1], entry[2], entry[3])
+                    packed[pk] = full
+                views[nid] = arb_cache[nid] = full
+        return views
 
     def _arbitrate(self, node_id: int) -> ArbitrationView:
         node = self.nodes[node_id]
         if node.is_idle:
-            return {}, 0.0, {}
+            return (), (), 0.0, ()
         if not memo.caches_enabled():
             slices = node.slices()
             grants = arbitrate_node(node.spec, slices)
             net_load = node_network_load(node.spec, slices)
             return (
-                grants, net_load,
-                {s.job_id: s.effective_ways for s in slices},
+                tuple(s.job_id for s in slices),
+                tuple(grants[s.job_id] for s in slices),
+                net_load,
+                tuple(s.effective_ways for s in slices),
             )
         key, jids, programs = node.arb_signature()
         entry = self._view_cache.get(key)
         if entry is not None and all(
             p is q for p, q in zip(entry[0], programs)
         ):
-            return (
-                dict(zip(jids, entry[1])),
-                entry[2],
-                dict(zip(jids, entry[3])),
-            )
+            return jids, entry[1], entry[2], entry[3]
         slices = node.slices()
         grants, net_load = memo.node_arbitration(node.spec, slices)
-        eff = {s.job_id: s.effective_ways for s in slices}
+        effs = tuple(s.effective_ways for s in slices)
+        grants_t = tuple(grants[j] for j in jids)
         if len(self._view_cache) >= memo.MAX_ENTRIES:
             self._view_cache.clear()
-        self._view_cache[key] = (
-            programs,
-            tuple(grants[j] for j in jids),
-            net_load,
-            tuple(eff[j] for j in jids),
-        )
-        return grants, net_load, eff
+        self._view_cache[key] = (programs, grants_t, net_load, effs)
+        return jids, grants_t, net_load, effs
 
     def verify_index(self) -> None:
         """Invariant check used by tests and defensive assertions."""
@@ -281,6 +484,7 @@ class ClusterState:
     def resident_jobs_on(self, node_ids: Iterable[int]) -> Set[int]:
         """Union of job ids resident on the given nodes."""
         out: Set[int] = set()
+        nodes = self.nodes
         for nid in node_ids:
-            out.update(self.nodes[nid].resident_job_ids)
+            out.update(nodes[nid]._residents)
         return out

@@ -86,6 +86,33 @@ class EventQueue:
             return ev
         return None
 
+    def pop_submit_at(self, time: float) -> Optional[Event]:
+        """Pop the next live event only if it is a ``JOB_SUBMIT`` at
+        exactly ``time`` (float equality); otherwise leave the queue
+        untouched and return ``None``.
+
+        This is the event-coalescing drain: trace replays submit bursts
+        of jobs at identical timestamps, and the runtime folds them into
+        one settle → place → refresh cycle.  Only submits are drained —
+        a queued *finish* event must go through :meth:`pop` after the
+        preceding event's refresh so lazy cancellation can judge its
+        staleness against current versions.
+        """
+        while self._heap:
+            ev = self._heap[0]
+            if (
+                ev.kind is EventKind.JOB_FINISH
+                and self._versions.get(ev.job_id) != ev.version
+            ):
+                heapq.heappop(self._heap)
+                continue  # stale finish: discard and keep looking
+            if ev.kind is not EventKind.JOB_SUBMIT or ev.time != time:
+                return None
+            heapq.heappop(self._heap)
+            self._now = max(self._now, ev.time)
+            return ev
+        return None
+
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event without popping it."""
         while self._heap:

@@ -11,7 +11,7 @@ of an unmanaged shared cache under equal per-core pressure).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
 from repro.apps.program import ProgramSpec
 from repro.errors import AllocationError
@@ -20,8 +20,9 @@ from repro.hardware.node_spec import NodeSpec
 from repro.perfmodel.contention import Slice
 
 
-@dataclass
-class _Resident:
+class _Resident(NamedTuple):
+    # NamedTuple, not dataclass: constructed once per placed slice on the
+    # hottest allocation path, where tuple.__new__ beats __init__.
     program: ProgramSpec
     procs: int
     n_nodes: int
@@ -29,7 +30,7 @@ class _Resident:
     booked_net: float = 0.0  # booked link-utilization fraction
 
 
-@dataclass
+@dataclass(slots=True)
 class NodeState:
     """Mutable per-node bookkeeping.
 
@@ -57,8 +58,16 @@ class NodeState:
     _booked_totals: Optional[Tuple[float, float]] = field(
         default=None, init=False
     )
-    # Lazily built arbitration signature (see arb_signature), dropped by
-    # place/remove.
+    # Arbitration-signature state (see arb_signature).  The per-resident
+    # item tuples never change after placement, so they are maintained
+    # incrementally on place/remove (parallel to the resident order)
+    # instead of being rebuilt on every signature query — signature
+    # reconstruction was the single hottest path of large-cluster
+    # refreshes.  The assembled signature tuple itself is still cached
+    # lazily and dropped on mutation.
+    _sig_items: List[tuple] = field(default_factory=list, init=False)
+    _sig_jobs: List[int] = field(default_factory=list, init=False)
+    _sig_programs: List[ProgramSpec] = field(default_factory=list, init=False)
     _arb_sig: Optional[tuple] = field(default=None, init=False)
 
     def __post_init__(self) -> None:
@@ -123,9 +132,10 @@ class NodeState:
     def occupancy_metric(self, beta: float) -> float:
         """The paper's node-selection metric ``Co + Bo + beta * Wo``
         (occupied fractions of cores, bandwidth, and LLC ways)."""
-        co = self.used_cores / self.spec.cores
-        bo = min(1.0, self.booked_bw / self.spec.peak_bw)
-        wo = self._ledger.allocated_ways / self.spec.llc_ways
+        spec = self.spec
+        co = self._used_cores / spec.cores
+        bo = min(1.0, self._booked()[0] / spec.peak_bw)
+        wo = self._ledger._allocated / spec.llc_ways
         return co + bo + beta * wo
 
     # -- allocation ----------------------------------------------------------
@@ -148,9 +158,10 @@ class NodeState:
               ways: int, bw: float, n_nodes: int,
               net: float = 0.0) -> None:
         """Install a job slice on this node."""
-        if job_id in self._residents:
+        residents = self._residents
+        if job_id in residents:
             raise AllocationError(f"job {job_id} already on node {self.node_id}")
-        if procs > self.free_cores:
+        if procs > self.spec.cores - self._used_cores:
             raise AllocationError(
                 f"node {self.node_id} has {self.free_cores} free cores; "
                 f"{procs} requested"
@@ -159,19 +170,38 @@ class NodeState:
             raise AllocationError("network booking must be non-negative")
         if self.partitioned:
             self._ledger.allocate(job_id, ways)
-        self._residents[job_id] = _Resident(program, procs, n_nodes, bw, net)
+        residents[job_id] = _Resident(program, procs, n_nodes, bw, net)
         self._used_cores += procs
         self._booked_totals = None
+        # Same item tuple arb_signature() used to rebuild per query: the
+        # dedicated ways equal the allocation just made and the booked
+        # bandwidth equals the booking argument.
+        self._sig_items.append((
+            id(program), procs, n_nodes,
+            ways if self.partitioned else 0,
+            bw if self.enforce_bw else -1.0,
+        ))
+        self._sig_jobs.append(job_id)
+        self._sig_programs.append(program)
         self._arb_sig = None
 
     def remove(self, job_id: int) -> None:
         """Remove a job slice (on completion)."""
-        if job_id not in self._residents:
-            raise AllocationError(f"job {job_id} not on node {self.node_id}")
+        residents = self._residents
+        try:
+            procs = residents.pop(job_id).procs
+        except KeyError:
+            raise AllocationError(
+                f"job {job_id} not on node {self.node_id}"
+            ) from None
         if self.partitioned:
             self._ledger.release(job_id)
-        self._used_cores -= self._residents[job_id].procs
-        del self._residents[job_id]
+        self._used_cores -= procs
+        sig_jobs = self._sig_jobs
+        index = sig_jobs.index(job_id)
+        del self._sig_items[index]
+        del sig_jobs[index]
+        del self._sig_programs[index]
         self._booked_totals = None
         self._arb_sig = None
 
@@ -210,22 +240,15 @@ class NodeState:
         """
         sig = self._arb_sig
         if sig is None:
-            part = self.partitioned
-            enforce = self.enforce_bw
-            ledger = self._ledger
-            items = tuple(
-                (
-                    id(r.program), r.procs, r.n_nodes,
-                    ledger.dedicated(jid) if part else 0,
-                    r.booked_bw if enforce else -1.0,
-                )
-                for jid, r in self._residents.items()
+            key = (
+                tuple(self._sig_items),
+                self._ledger.free_ways if self.partitioned
+                else self._used_cores,
             )
-            key = (items, ledger.free_ways if part else self._used_cores)
             sig = (
                 key,
-                tuple(self._residents.keys()),
-                tuple(r.program for r in self._residents.values()),
+                tuple(self._sig_jobs),
+                tuple(self._sig_programs),
             )
             self._arb_sig = sig
         return sig

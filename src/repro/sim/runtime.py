@@ -22,9 +22,15 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Set
 
 from repro.config import SimConfig
-from repro.errors import SimulationError
+from repro.errors import HardwareModelError, SimulationError
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel.execution import NodeConditions, job_time, reference_time
+from repro.perfmodel import batch, memo
+from repro.perfmodel.execution import (
+    NodeConditions,
+    job_time,
+    reference_time,
+    scale_factor_of,
+)
 from repro.sim.cluster import ClusterState
 from repro.sim.engine import EventKind, EventQueue
 from repro.sim.job import Job, JobState, Placement
@@ -69,6 +75,10 @@ class SimulationResult:
     telemetry: Optional[TelemetryRecorder]
     #: Number of discrete events processed (benchmark metric).
     events: int = 0
+    #: Kernel-counter instrumentation: event batches, coalesced events,
+    #: refresh cycles, arbitration cache traffic, nodes scanned, jobs
+    #: skipped, memo hit deltas (see DESIGN.md §7).
+    counters: Dict[str, int] = field(default_factory=dict)
 
     @property
     def finished_jobs(self) -> List[Job]:
@@ -126,30 +136,74 @@ class Simulation:
         # _check_liveness O(1) instead of an O(total-jobs) scan at every
         # scheduling point of a 7K-job trace replay.
         self._running = 0
+        # Incremental per-job refresh state (caches-enabled fast path):
+        # job_id -> (node_id -> condition key, condition key -> count).
+        # A condition key (procs, effective ways, granted GB/s, net load)
+        # fully determines the job's NodeConditions on that node, and
+        # job_time depends only on the *distinct* key set — so a refresh
+        # only has to re-derive keys for nodes whose slice set changed
+        # (exactly the touched nodes) and can reuse the rest.
+        self._job_conds: Dict[int, tuple] = {}
         self._events_processed = 0
+        self._counters = {
+            "event_batches": 0,
+            "events_coalesced": 0,
+            "refresh_cycles": 0,
+            "nodes_refreshed": 0,
+        }
         for job in jobs:
             self.events.push_submit(job.submit_time, job.job_id)
 
     # ------------------------------------------------------------------ run
 
     def run(self) -> SimulationResult:
-        """Execute to completion and return the result."""
+        """Execute to completion and return the result.
+
+        Events at an identical timestamp (trace submit bursts) are
+        drained into one batch: each event still gets its own scheduling
+        point (intermediate cluster occupancy matters to placement and
+        aging), but settling, speed refresh, telemetry, and the liveness
+        check run once per batch instead of once per event.  Only
+        *submit* events coalesce behind the leading event — finish
+        events always pop through the lazily-cancelling queue so a
+        deferred refresh can never resurrect a stale finish.  The
+        coalesced and per-event loops are bit-identical; with
+        ``REPRO_DISABLE_PERF_CACHES`` the per-event reference loop runs.
+        """
+        memo_before = memo.stats_snapshot()
+        batch_before = batch.counters_snapshot()
         if self.telemetry is not None:
             for nid in range(len(self.cluster.nodes)):
                 self.telemetry.record(nid, 0.0, 0.0)
+        coalesce = memo.caches_enabled()
         while True:
             event = self.events.pop()
             if event is None:
                 break
-            self._events_processed += 1
             now = self.events.now
             if now > self.config.max_sim_time:
                 raise SimulationError("simulation exceeded max_sim_time")
-            if event.kind is EventKind.JOB_SUBMIT:
-                self.pending.append(self.jobs[event.job_id])
-            else:
-                self._finish_job(self.jobs[event.job_id], now)
-            self._scheduling_point(now)
+            events = [event]
+            if coalesce:
+                while True:
+                    nxt = self.events.pop_submit_at(now)
+                    if nxt is None:
+                        break
+                    events.append(nxt)
+            self._events_processed += len(events)
+            self._counters["event_batches"] += 1
+            self._counters["events_coalesced"] += len(events) - 1
+            affected: Set[int] = set()
+            touched: Set[int] = set()
+            for ev in events:
+                if ev.kind is EventKind.JOB_SUBMIT:
+                    self.pending.append(self.jobs[ev.job_id])
+                else:
+                    self._finish_job(self.jobs[ev.job_id], now,
+                                     affected, touched)
+                self._scheduling_point(now, affected, touched)
+            self._refresh(affected, touched, now)
+            self._check_liveness()
         if self.pending:
             raise SimulationError(
                 f"{len(self.pending)} jobs never scheduled (deadlock): "
@@ -163,11 +217,32 @@ class Simulation:
             makespan=makespan,
             telemetry=self.telemetry,
             events=self._events_processed,
+            counters=self._collect_counters(memo_before, batch_before),
         )
+
+    def _collect_counters(self, memo_before: Dict[str, int],
+                          batch_before: Dict[str, int]) -> Dict[str, int]:
+        """Aggregate instrumentation: runtime loop + cluster arbitration
+        + policy queue counters + memo/batch-kernel deltas for this run."""
+        counters = dict(self._counters)
+        counters["events"] = self._events_processed
+        counters.update(self.cluster.counters)
+        policy_counters = getattr(self.policy, "counters", None)
+        if policy_counters:
+            counters.update(policy_counters)
+        for key, value in memo.stats_snapshot().items():
+            counters[key] = value - memo_before.get(key, 0)
+        for key, value in batch.counters_snapshot().items():
+            counters[key] = value - batch_before.get(key, 0)
+        return counters
 
     # ----------------------------------------------------------- internals
 
-    def _finish_job(self, job: Job, now: float) -> None:
+    def _finish_job(self, job: Job, now: float,
+                    affected: Set[int], touched: Set[int]) -> None:
+        """Settle and complete one job; the speed refresh of its
+        co-residents is deferred to the end of the event batch (they are
+        accumulated into ``affected``/``touched``)."""
         if job.state is not JobState.RUNNING:
             raise SimulationError(f"finish event for non-running job {job.job_id}")
         job.settle_progress(now)
@@ -178,37 +253,42 @@ class Simulation:
             )
         placement = job.placement
         assert placement is not None
-        touched = set(placement.node_ids)
-        affected = self._settle_residents(touched, now)
-        affected.discard(job.job_id)
+        nodes = set(placement.node_ids)
+        residents = self._settle_residents(nodes, now)
+        residents.discard(job.job_id)
         for nid in placement.node_ids:
             self.cluster.remove(nid, job.job_id)
         job.complete(now)
+        self._job_conds.pop(job.job_id, None)
         self._running -= 1
-        self._refresh(affected, touched, now)
+        touched.update(nodes)
+        affected.update(residents)
+        affected.discard(job.job_id)
         # Completion hook: lets policies piggyback profiling on finished
         # runs (paper Section 4.4: exclusive runs refresh the database).
         hook = getattr(self.policy, "on_job_finish", None)
         if hook is not None:
             hook(job, now)
 
-    def _scheduling_point(self, now: float) -> None:
+    def _scheduling_point(self, now: float,
+                          affected: Set[int], touched: Set[int]) -> None:
         if not self.pending:
             return
         decisions = self.policy.schedule_point(self.cluster, self.pending, now)
         if not decisions:
-            self._check_liveness()
             return
         placed_ids = {d.job.job_id for d in decisions}
         if len(placed_ids) != len(decisions):
             raise SimulationError("policy placed the same job twice")
-        touched: Set[int] = set()
+        new_nodes: Set[int] = set()
         for d in decisions:
-            touched.update(d.placement.node_ids)
+            new_nodes.update(d.placement.node_ids)
         # Settle co-runners *before* the new slices change their speeds.
         # (The policy already mutated the cluster, but allocations do not
-        # advance time, so settling at `now` is still exact.)
-        affected = self._settle_residents(touched, now)
+        # advance time, so settling at `now` is still exact — as is
+        # re-settling a job another event of this batch already settled.)
+        affected.update(self._settle_residents(new_nodes, now))
+        touched.update(new_nodes)
         for d in decisions:
             job = d.job
             if job not in self.pending:
@@ -223,8 +303,6 @@ class Simulation:
             job.begin(now, work, d.placement, d.scale_factor)
             self._running += 1
             affected.add(job.job_id)
-        self._refresh(affected, touched, now)
-        self._check_liveness()
 
     def _check_liveness(self) -> None:
         if self.pending and self._running == 0 \
@@ -259,9 +337,12 @@ class Simulation:
         are re-solved; the untouched nodes of wide affected jobs are
         read back from the cache.
         """
-        # Every node any affected job spans needs current arbitration;
-        # touched nodes that no running job reads (e.g. nodes an exclusive
-        # job just vacated) only matter to telemetry.
+        if memo.caches_enabled():
+            self._refresh_incremental(job_ids, touched_nodes, now)
+            return
+        # Reference path: every node any affected job spans needs current
+        # arbitration; touched nodes that no running job reads (e.g.
+        # nodes an exclusive job just vacated) only matter to telemetry.
         nodes_needed: Set[int] = set()
         for jid in job_ids:
             job = self.jobs[jid]
@@ -269,7 +350,11 @@ class Simulation:
                 nodes_needed.update(job.placement.node_ids)
         if self.telemetry is not None:
             nodes_needed.update(touched_nodes)
-        views = {nid: self.cluster.arbitration(nid) for nid in nodes_needed}
+        if not nodes_needed:
+            return
+        self._counters["refresh_cycles"] += 1
+        self._counters["nodes_refreshed"] += len(nodes_needed)
+        views = self.cluster.arbitration_batch(nodes_needed)
 
         # Nodes carrying identical slices yield identical conditions;
         # interning them keeps wide jobs from re-validating thousands of
@@ -283,15 +368,19 @@ class Simulation:
             placement = job.placement
             assert placement is not None
             conditions = []
+            procs_per_node = placement.procs_per_node
             for nid in placement.node_ids:
-                grants, net_load, eff_ways = views[nid]
-                procs = placement.procs_per_node[nid]
-                key = (procs, eff_ways[jid], grants[jid], net_load)
+                view = views[nid]
+                slot = view[0].index(jid)
+                grant = view[1][slot]
+                eff = view[3][slot]
+                procs = procs_per_node[nid]
+                key = (procs, eff, grant, view[2])
                 cond = interned.get(key)
                 if cond is None:
-                    cap = cache.ways_to_mb(eff_ways[jid]) / procs
+                    cap = cache.ways_to_mb(eff) / procs
                     cond = NodeConditions(
-                        procs, cap, grants[jid], net_load=net_load
+                        procs, cap, grant, net_load=view[2]
                     )
                     interned[key] = cond
                 conditions.append(cond)
@@ -303,6 +392,143 @@ class Simulation:
         if self.telemetry is not None:
             for nid in touched_nodes:
                 self.telemetry.record(
-                    nid, now, sum(views[nid][0].values()),
+                    nid, now, sum(views[nid][1]),
                     cores=self.cluster.node(nid).used_cores,
                 )
+
+    def _refresh_incremental(self, job_ids: Set[int],
+                             touched_nodes: Set[int], now: float) -> None:
+        """Fast-path refresh: only *touched* nodes (slice set changed this
+        batch) can have new arbitration views, so each affected job
+        re-derives condition keys for its touched nodes and reuses the
+        cached keys everywhere else.  Its execution time then comes from
+        the distinct-key multiset — bit-identical to :func:`job_time`
+        over the full per-node list, which only ever reads the distinct
+        condition set (see ``_job_time_from_keys``)."""
+        refreshed: List[Job] = []
+        needed: Set[int] = set()
+        conds = self._job_conds
+        for jid in job_ids:
+            job = self.jobs[jid]
+            if job.state is not JobState.RUNNING or job.placement is None:
+                continue
+            refreshed.append(job)
+            state = conds.get(jid)
+            if state is None:
+                needed.update(job.placement.node_ids)
+            else:
+                node_keys = state[0]
+                if len(touched_nodes) < len(node_keys):
+                    needed.update(
+                        n for n in touched_nodes if n in node_keys
+                    )
+                else:
+                    needed.update(
+                        n for n in node_keys if n in touched_nodes
+                    )
+        if self.telemetry is not None:
+            needed.update(touched_nodes)
+        if not needed and not refreshed:
+            return
+        self._counters["refresh_cycles"] += 1
+        self._counters["nodes_refreshed"] += len(needed)
+        views = self.cluster.arbitration_batch(needed)
+        for job in refreshed:
+            jid = job.job_id
+            placement = job.placement
+            procs_per_node = placement.procs_per_node
+            state = conds.get(jid)
+            if state is None:
+                node_keys = {}
+                key_counts: Dict[tuple, int] = {}
+                # Sibling nodes of a wide job share one view tuple (see
+                # arbitration_batch), and an identical view implies an
+                # identical condition key — derive once per distinct view.
+                prev_view = prev_key = None
+                for nid in placement.node_ids:
+                    view = views[nid]
+                    if view is prev_view:
+                        key = prev_key
+                    else:
+                        slot = view[0].index(jid)
+                        key = (
+                            procs_per_node[nid], view[3][slot],
+                            view[1][slot], view[2],
+                        )
+                        prev_view, prev_key = view, key
+                    node_keys[nid] = key
+                    key_counts[key] = key_counts.get(key, 0) + 1
+                conds[jid] = (node_keys, key_counts)
+            else:
+                node_keys, key_counts = state
+                if len(touched_nodes) < len(node_keys):
+                    update = (
+                        n for n in touched_nodes if n in node_keys
+                    )
+                else:
+                    update = (
+                        n for n in node_keys if n in touched_nodes
+                    )
+                for nid in update:
+                    view = views[nid]
+                    slot = view[0].index(jid)
+                    key = (
+                        procs_per_node[nid], view[3][slot],
+                        view[1][slot], view[2],
+                    )
+                    old = node_keys[nid]
+                    if key != old:
+                        node_keys[nid] = key
+                        count = key_counts[old] - 1
+                        if count:
+                            key_counts[old] = count
+                        else:
+                            del key_counts[old]
+                        key_counts[key] = key_counts.get(key, 0) + 1
+            t_now = self._job_time_from_keys(
+                job.program, job.procs, key_counts, len(node_keys)
+            )
+            t_ref = reference_time(job.program, job.procs, self._spec)
+            job.set_speed(t_ref / t_now)
+            self.events.push_finish(job.projected_finish(), jid)
+
+        if self.telemetry is not None:
+            for nid in touched_nodes:
+                self.telemetry.record(
+                    nid, now, sum(views[nid][1]),
+                    cores=self.cluster.node(nid).used_cores,
+                )
+
+    def _job_time_from_keys(self, program, procs: int,
+                            key_counts: Dict[tuple, int],
+                            n_nodes: int) -> float:
+        """:func:`job_time` evaluated from the distinct condition keys of
+        a running job.  job_time reduces the per-node list to its
+        distinct condition set before computing anything (slowest rate,
+        peak congestion), and a key maps 1:1 onto a NodeConditions value
+        (capacity is a strictly monotone function of effective ways at
+        fixed procs) — so min/max over the key set are bit-identical to
+        min/max over ``set(per_node)``.  The per-node structural
+        validations (procs sum, non-empty placement) are guaranteed by
+        Placement construction and skipped here."""
+        if program.max_nodes is not None and n_nodes > program.max_nodes:
+            raise HardwareModelError(
+                f"{program.name} cannot span {n_nodes} nodes "
+                f"(max {program.max_nodes})"
+            )
+        spec = self._spec
+        ways_to_mb = spec.cache.ways_to_mb
+        slowest = min(
+            memo.process_rate(
+                program, p, ways_to_mb(eff) / p, grant, n_nodes
+            )
+            for p, eff, grant, _net in key_counts
+        )
+        compute_time = program.instr_per_proc(procs) / slowest
+        k = scale_factor_of(n_nodes, procs, spec)
+        t_ref = reference_time(program, procs, spec)
+        comm_time = t_ref * program.comm.comm_fraction(k, n_nodes)
+        congestion = max(key[3] for key in key_counts)
+        if congestion > 1.0:
+            comm_time *= congestion
+        return compute_time + comm_time

@@ -1,0 +1,115 @@
+"""Event coalescing: same-timestamp submit bursts drain into one
+settle → place → refresh batch, bit-identically to per-event processing
+(ISSUE tentpole part 2; DESIGN.md §7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.catalog import get_program
+from repro.config import SimConfig
+from repro.hardware.topology import ClusterSpec
+from repro.perfmodel import memo
+from repro.scheduling.ce import CompactExclusiveScheduler
+from repro.scheduling.sns import SpreadNShareScheduler
+from repro.sim.job import Job
+from repro.sim.runtime import Simulation
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    memo.clear_caches()
+    yield
+    memo.clear_caches()
+
+
+def burst_jobs(k: int = 8, at: float = 0.0):
+    """``k`` jobs all submitted at the same timestamp."""
+    programs = ("EP", "MG", "CG", "WC")
+    return [
+        Job(job_id=i, program=get_program(programs[i % len(programs)]),
+            procs=16, submit_time=at)
+        for i in range(k)
+    ]
+
+
+def replay(jobs, policy_cls, nodes=8):
+    spec = ClusterSpec(num_nodes=nodes)
+    result = Simulation(
+        spec, policy_cls(spec), jobs, SimConfig(telemetry=False)
+    ).run()
+    return result
+
+
+def outcome(result):
+    return (
+        result.makespan,
+        sorted(
+            (j.job_id, j.start_time, j.finish_time,
+             j.placement.node_ids if j.placement else None)
+            for j in result.finished_jobs
+        ),
+    )
+
+
+@pytest.mark.parametrize(
+    "policy_cls", [CompactExclusiveScheduler, SpreadNShareScheduler]
+)
+class TestCoalescedEquivalence:
+    def test_burst_matches_per_event_reference(self, policy_cls):
+        fast = replay(burst_jobs(), policy_cls)
+        memo.clear_caches()
+        with memo.caches_disabled():
+            reference = replay(burst_jobs(), policy_cls)
+        assert outcome(fast) == outcome(reference)
+
+    def test_burst_coalesces_and_saves_cycles(self, policy_cls):
+        if not memo.caches_enabled():
+            pytest.skip("coalescing disabled by REPRO_DISABLE_PERF_CACHES")
+        k = 8
+        result = replay(burst_jobs(k), policy_cls)
+        counters = result.counters
+        # All k submits share one timestamp: the batch count must be
+        # strictly below the event count, and the difference is exactly
+        # the coalesced events.
+        assert counters["events_coalesced"] > 0
+        assert counters["event_batches"] < counters["events"]
+        assert counters["events"] - counters["event_batches"] == \
+            counters["events_coalesced"]
+        # One settle/refresh cycle per batch at most — strictly fewer
+        # than one per event.
+        assert counters["refresh_cycles"] <= counters["event_batches"]
+        assert counters["refresh_cycles"] < counters["events"]
+
+    def test_reference_path_never_coalesces(self, policy_cls):
+        with memo.caches_disabled():
+            result = replay(burst_jobs(), policy_cls)
+        assert result.counters["events_coalesced"] == 0
+        assert result.counters["event_batches"] == \
+            result.counters["events"]
+
+    def test_mixed_timestamps_only_merge_equal_ones(self, policy_cls):
+        jobs = burst_jobs(4, at=0.0) + [
+            Job(job_id=100 + i, program=get_program("EP"), procs=16,
+                submit_time=50.0 * (i + 1))
+            for i in range(3)
+        ]
+        fast = replay(jobs, policy_cls)
+        if memo.caches_enabled():
+            assert fast.counters["events_coalesced"] >= 3
+
+        def rebuild():
+            return burst_jobs(4, at=0.0) + [
+                Job(job_id=100 + i, program=get_program("EP"), procs=16,
+                    submit_time=50.0 * (i + 1))
+                for i in range(3)
+            ]
+
+        memo.clear_caches()
+        with memo.caches_disabled():
+            reference = replay(rebuild(), policy_cls)
+        # Results must match even though the spaced submits each got
+        # their own batch.
+        assert fast.makespan == reference.makespan
+        assert sorted(j.finish_time for j in fast.finished_jobs) == \
+            sorted(j.finish_time for j in reference.finished_jobs)

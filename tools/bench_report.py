@@ -10,8 +10,17 @@ event loop show up as numbers, not vibes:
     PYTHONPATH=src python tools/bench_report.py --no-caches --label ref
 
 Each entry records per-configuration wall seconds, simulated events,
-and events/second, plus the grid total.  Existing entries under other
-labels are preserved, so a before/after pair can live side by side.
+events/second, and the kernel counters (batched arbitration solves,
+coalesced events, skip-index hits, nodes scanned — see DESIGN.md §7),
+plus the grid total.  Existing entries under other labels are
+preserved, so a before/after pair can live side by side.
+
+Every fast path in the simulator is required to be *bit-identical* to
+the reference kernels, so after timing, this script cross-checks the
+makespan and mean turnaround of every configuration against every
+other entry already in BENCH_sim.json and **exits non-zero (2) on any
+divergence** — a perf "win" that changes results is a bug, and CI
+treats it as one.
 """
 
 from __future__ import annotations
@@ -21,6 +30,7 @@ import json
 import sys
 import time
 from pathlib import Path
+from typing import Dict, List
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -39,6 +49,18 @@ RATIOS = (0.9, 0.5)
 SIZES = (4096, 8192)
 POLICIES = ("CE", "SNS")
 SEED = 42
+
+#: Kernel counters copied into each config entry (DESIGN.md §7).
+COUNTER_COLUMNS = (
+    "events_coalesced",
+    "refresh_cycles",
+    "arb_nodes_solved",
+    "view_cache_hits",
+    "nodes_scanned",
+    "find_fail_hits",
+    "jobs_skipped",
+    "demand_cache_hits",
+)
 
 
 def run_grid(verbose: bool = True) -> dict:
@@ -72,6 +94,10 @@ def run_grid(verbose: bool = True) -> dict:
                     "events_per_s": round(result.events / wall, 1),
                     "makespan": result.makespan,
                     "mean_turnaround": result.mean_turnaround(),
+                    "counters": {
+                        key: result.counters.get(key, 0)
+                        for key in COUNTER_COLUMNS
+                    },
                 })
                 if verbose:
                     print(f"  {policy:3s} {nodes:5d} nodes ratio {ratio}: "
@@ -84,6 +110,32 @@ def run_grid(verbose: bool = True) -> dict:
         "events_per_s": round(total_events / total_wall, 1),
         "configs": configs,
     }
+
+
+def check_divergence(report: dict, label: str) -> List[str]:
+    """Cross-check results of every same-grid entry pair in ``report``.
+
+    All entries replay the same traces with the same seed, so their
+    per-configuration makespans and mean turnarounds must agree exactly
+    — fast paths are contractually bit-identical to the reference.
+    Returns a list of human-readable divergence descriptions (empty when
+    everything matches).
+    """
+    grids: Dict[str, Dict[tuple, tuple]] = {}
+    problems: List[str] = []
+    for name, entry in report.items():
+        seen = grids.setdefault(entry.get("grid", "?"), {})
+        for config in entry.get("configs", []):
+            key = (config["policy"], config["nodes"], config["ratio"])
+            results = (config["makespan"], config["mean_turnaround"])
+            known = seen.get(key)
+            if known is None:
+                seen[key] = (name, results)
+            elif known[1] != results:
+                problems.append(
+                    f"{key}: '{name}' {results} != '{known[0]}' {known[1]}"
+                )
+    return problems
 
 
 def main(argv=None) -> int:
@@ -114,6 +166,15 @@ def main(argv=None) -> int:
     ]
     for label, wall in baselines:
         print(f"vs {label}: {wall / entry['total_wall_s']:.2f}x")
+    problems = check_divergence(report, args.label)
+    if problems:
+        print(f"FATAL: fast-path results diverge from reference entries "
+              f"({len(problems)} mismatches):", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        print("not writing BENCH_sim.json — fix the divergence first",
+              file=sys.stderr)
+        return 2
     path.write_text(json.dumps(report, indent=1) + "\n")
     print(f"wrote {path}")
     return 0
