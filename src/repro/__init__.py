@@ -22,8 +22,9 @@ See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 paper-vs-measured record of every reproduced figure.
 """
 
-from repro.config import SchedulerConfig, SimConfig
+from repro.config import RetryPolicy, SchedulerConfig, SimConfig
 from repro.apps import PROGRAMS, ProgramSpec, get_program, program_names
+from repro.faults import FaultPlan, NodeFault, ProfileOutage
 from repro.hardware import ClusterSpec, NodeSpec
 from repro.profiling import OnlineProfileStore, ProfileDatabase, profile_program
 from repro.scheduling import (
@@ -46,6 +47,10 @@ __version__ = "1.0.0"
 __all__ = [
     "SchedulerConfig",
     "SimConfig",
+    "RetryPolicy",
+    "FaultPlan",
+    "NodeFault",
+    "ProfileOutage",
     "PROGRAMS",
     "ProgramSpec",
     "get_program",

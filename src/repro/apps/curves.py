@@ -128,7 +128,8 @@ class PiecewiseLinearCurve:
                 if y1 == y0:
                     return x0
                 t = (target_y - y0) / (y1 - y0)
-                return x0 + t * (x1 - x0)
+                # Clamp: x0 + 1.0*(x1-x0) can land a ULP above x1.
+                return min(x1, x0 + t * (x1 - x0))
         return pts[-1][0]
 
     def as_lists(self) -> Tuple[List[float], List[float]]:

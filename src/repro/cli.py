@@ -10,8 +10,10 @@ Subcommands
 ``profile <program> [--procs N]``
     Run the profiling trial ladder for one catalog program and print the
     resulting profile.
-``simulate [--policy SNS] [--seed N] [--jobs N] [--nodes N]``
+``simulate [--policy SNS] [--seed N] [--jobs N] [--nodes N] [--faults SPEC]``
     Schedule one random sequence and print the schedule summary.
+    ``--faults mtbf=3600,mttr=300,seed=7`` injects seeded MTBF/MTTR node
+    failures (see :func:`repro.faults.parse_fault_spec` for all keys).
 """
 
 from __future__ import annotations
@@ -26,6 +28,7 @@ from repro.config import SimConfig
 from repro.errors import ReproError
 from repro.experiments.common import run_policy
 from repro.experiments.registry import EXPERIMENTS, get_experiment
+from repro.faults import parse_fault_spec
 from repro.hardware.topology import ClusterSpec
 from repro.profiling.profiler import profile_program
 from repro.workloads.sequences import random_sequence
@@ -72,20 +75,37 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 def _cmd_simulate(args: argparse.Namespace) -> int:
     cluster = ClusterSpec(num_nodes=args.nodes)
     jobs = random_sequence(seed=args.seed, n_jobs=args.jobs)
+    fault_plan = (
+        parse_fault_spec(args.faults, cluster.num_nodes)
+        if args.faults else None
+    )
     result = run_policy(
-        args.policy, cluster, jobs, sim_config=SimConfig(telemetry=False)
+        args.policy, cluster, jobs, sim_config=SimConfig(telemetry=False),
+        fault_plan=fault_plan,
     )
     print(f"{args.policy} on {args.nodes} nodes, {args.jobs} jobs "
           f"(seed {args.seed}):")
     print(f"  makespan      {result.makespan:10.1f} s")
     print(f"  throughput    {result.throughput() * 1e3:10.4f} /ks")
     print(f"  node-seconds  {result.node_seconds():10.0f}")
+    if fault_plan is not None:
+        counters = result.counters
+        print(f"  failures      {counters['node_failures']:10d} "
+              f"(evictions {counters['job_evictions']}, "
+              f"jobs failed {counters['jobs_failed']})")
+        print(f"  badput        {result.badput_node_seconds():10.0f} "
+              f"node-s ({result.badput_fraction():.1%})")
     for job in sorted(result.finished_jobs, key=lambda j: j.job_id):
         placement = job.placement
+        retry_note = f" retries={job.retries}" if job.retries else ""
         print(f"  job {job.job_id:3d} {job.program.name:4s} "
               f"p{job.procs:<3d} k={job.scale_factor} "
               f"nodes={placement.n_nodes} ways={placement.dedicated_ways:2d} "
-              f"wait={job.wait_time:8.1f}s run={job.run_time:8.1f}s")
+              f"wait={job.wait_time:8.1f}s run={job.run_time:8.1f}s"
+              f"{retry_note}")
+    for job in sorted(result.failed_jobs, key=lambda j: j.job_id):
+        print(f"  job {job.job_id:3d} {job.program.name:4s} "
+              f"p{job.procs:<3d} FAILED after {job.retries} retries")
     return 0
 
 
@@ -118,11 +138,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--nodes", type=int, default=8)
 
     p_sim = sub.add_parser("simulate", help="simulate one random sequence")
-    p_sim.add_argument("--policy", choices=("CE", "CS", "SNS"),
+    p_sim.add_argument("--policy", choices=("CE", "CE-BF", "CS", "SNS"),
                        default="SNS")
     p_sim.add_argument("--seed", type=int, default=1)
     p_sim.add_argument("--jobs", type=int, default=20)
     p_sim.add_argument("--nodes", type=int, default=8)
+    p_sim.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject seeded node failures, e.g. mtbf=3600,mttr=300,seed=7"
+             " (keys: mtbf, mttr, seed, horizon, retries, backoff)",
+    )
 
     return parser
 

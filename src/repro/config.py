@@ -82,6 +82,31 @@ class SchedulerConfig:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """How the runtime requeues jobs evicted by a node failure.
+
+    Attributes
+    ----------
+    max_retries:
+        Additional attempts a job gets after its first eviction; once
+        exhausted the job is marked :attr:`~repro.sim.job.JobState.FAILED`
+        and its remaining work is abandoned.
+    backoff_s:
+        Simulated delay between an eviction and the job's resubmission
+        (models requeue/cleanup latency in a production scheduler).
+    """
+
+    max_retries: int = 3
+    backoff_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ConfigError("max_retries must be non-negative")
+        if self.backoff_s < 0:
+            raise ConfigError("backoff_s must be non-negative")
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Simulation-wide settings."""
 

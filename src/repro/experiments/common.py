@@ -2,28 +2,16 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Type
+from typing import Dict, List, Optional, Sequence
 
 from repro.config import SchedulerConfig, SimConfig
+from repro.faults.plan import FaultPlan
 from repro.hardware.topology import ClusterSpec, testbed_cluster
 from repro.profiling.database import ProfileDatabase
-from repro.scheduling.backfill import CompactExclusiveBackfillScheduler
-from repro.scheduling.base import BaseScheduler
-from repro.scheduling.ce import CompactExclusiveScheduler
-from repro.scheduling.cs import CompactShareScheduler
-from repro.scheduling.sns import SpreadNShareScheduler
+from repro.scheduling import POLICIES  # noqa: F401  (re-exported for harnesses)
 from repro.sim.job import Job
 from repro.sim.runtime import Simulation, SimulationResult
 from repro.workloads.sequences import clone_jobs
-
-#: Policies compared throughout the evaluation ("CE-BF" is the extra
-#: EASY-backfilling baseline beyond the paper's trio).
-POLICIES: Dict[str, Type[BaseScheduler]] = {
-    "CE": CompactExclusiveScheduler,
-    "CE-BF": CompactExclusiveBackfillScheduler,
-    "CS": CompactShareScheduler,
-    "SNS": SpreadNShareScheduler,
-}
 
 
 def run_policy(
@@ -32,15 +20,19 @@ def run_policy(
     jobs: Sequence[Job],
     scheduler_config: SchedulerConfig = SchedulerConfig(),
     sim_config: SimConfig = SimConfig(),
-    database: ProfileDatabase = None,
+    database: Optional[ProfileDatabase] = None,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> SimulationResult:
-    """Run one policy on (a private copy of) a job sequence."""
-    cls = POLICIES[policy_name]
-    if cls is SpreadNShareScheduler:
-        policy = cls(cluster, scheduler_config, database=database)
-    else:
-        policy = cls(cluster, scheduler_config)
-    return Simulation(cluster, policy, clone_jobs(jobs), sim_config).run()
+    """Run one policy on (a private copy of) a job sequence.
+
+    Every policy constructs through the uniform ``(cluster_spec, config,
+    *, database=None)`` signature; unknown names raise ``KeyError``.
+    """
+    return Simulation.from_policy_name(
+        policy_name, cluster, clone_jobs(jobs),
+        scheduler_config=scheduler_config, sim_config=sim_config,
+        database=database, fault_plan=fault_plan,
+    ).run()
 
 
 def run_all_policies(

@@ -8,6 +8,7 @@ from typing import Callable, Dict, NamedTuple
 from repro.errors import ReproError
 from repro.experiments import (
     ablations,
+    availability,
     baselines,
     fragmentation,
     online_profiling,
@@ -125,6 +126,11 @@ EXPERIMENTS: Dict[str, Experiment] = {
         "ablate SNS design choices (beta, tolerance, residual share, MBA)",
         ablations.run_ablation, ablations.format_ablation,
         parallel=True,
+    ),
+    "availability": Experiment(
+        "MTBF sweep: makespan stretch and badput under node failures",
+        availability.run_availability, availability.format_availability,
+        {"n_sequences": 2, "mtbf_values": (5000.0,)},
     ),
     "baselines": Experiment(
         "four-way comparison incl. EASY-backfilled CE, with wide jobs",

@@ -1,0 +1,25 @@
+"""Fault injection and recovery: declarative, seeded failure plans.
+
+The subsystem has three parts: the plan (:class:`FaultPlan` — node
+crash/recover schedules, MTBF-style random failures, profile-store
+outages), the retry policy (:class:`repro.config.RetryPolicy` — how
+evicted jobs requeue), and the runtime handling in
+:mod:`repro.sim.runtime` (settle → evict → requeue, with lost work
+split into goodput/badput on the result).  See DESIGN.md §8.
+"""
+
+from repro.config import RetryPolicy
+from repro.faults.plan import (
+    FaultPlan,
+    NodeFault,
+    ProfileOutage,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FaultPlan",
+    "NodeFault",
+    "ProfileOutage",
+    "RetryPolicy",
+    "parse_fault_spec",
+]

@@ -1,0 +1,183 @@
+"""Declarative fault plans: what breaks, when, and for how long.
+
+A :class:`FaultPlan` is a seeded, immutable description of everything
+that goes wrong during one simulated run: node crash/recover windows
+(declared one by one, or drawn from an MTBF/MTTR model) and
+profile-store outage windows during which the SNS scheduler cannot read
+profiles and degrades to CE-style exclusive placement.  The runtime
+turns the plan into ``NODE_FAIL`` / ``NODE_RECOVER`` /
+``PROFILE_DOWN`` / ``PROFILE_UP`` events at construction time, so a
+fixed plan replayed under a fixed seed is fully deterministic.
+
+An *empty* plan injects nothing — the event stream, and therefore every
+result, is bit-identical to a run without fault support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.config import RetryPolicy
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """One node-crash window: the node dies at ``fail_at`` (every
+    resident job slice is lost) and rejoins empty at ``recover_at``
+    (``None`` models a permanent loss)."""
+
+    node_id: int
+    fail_at: float
+    recover_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ConfigError("node_id must be non-negative")
+        if self.fail_at < 0:
+            raise ConfigError("fail_at must be non-negative")
+        if self.recover_at is not None and self.recover_at <= self.fail_at:
+            raise ConfigError("recover_at must be after fail_at")
+
+
+@dataclass(frozen=True)
+class ProfileOutage:
+    """One profile-store outage window ``[start, end)``: SNS profile
+    lookups are unavailable and jobs fall back to exclusive placement."""
+
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ConfigError("outage start must be non-negative")
+        if self.end <= self.start:
+            raise ConfigError("outage end must be after start")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything injected into one simulation run.
+
+    ``retry`` governs how evicted jobs are requeued (see
+    :class:`repro.config.RetryPolicy`).  Validation rejects overlapping
+    windows on the same node so a node can never fail while down.
+    """
+
+    node_faults: Tuple[NodeFault, ...] = ()
+    profile_outages: Tuple[ProfileOutage, ...] = ()
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        by_node: Dict[int, List[NodeFault]] = {}
+        for fault in self.node_faults:
+            by_node.setdefault(fault.node_id, []).append(fault)
+        for node_id, faults in by_node.items():
+            faults.sort(key=lambda f: f.fail_at)
+            for prev, nxt in zip(faults, faults[1:]):
+                if prev.recover_at is None or nxt.fail_at < prev.recover_at:
+                    raise ConfigError(
+                        f"overlapping fault windows on node {node_id}"
+                    )
+        outages = sorted(self.profile_outages, key=lambda o: o.start)
+        for prev, nxt in zip(outages, outages[1:]):
+            if nxt.start < prev.end:
+                raise ConfigError("overlapping profile outage windows")
+
+    def __bool__(self) -> bool:
+        return bool(self.node_faults or self.profile_outages)
+
+    def max_node_id(self) -> int:
+        """Highest node id any fault names (-1 for a node-fault-free
+        plan); the runtime validates it against the cluster size."""
+        if not self.node_faults:
+            return -1
+        return max(f.node_id for f in self.node_faults)
+
+    @classmethod
+    def from_mtbf(
+        cls,
+        seed: int,
+        num_nodes: int,
+        mtbf_s: float,
+        mttr_s: float,
+        horizon_s: float,
+        retry: RetryPolicy = RetryPolicy(),
+        profile_outages: Tuple[ProfileOutage, ...] = (),
+    ) -> "FaultPlan":
+        """MTBF-style random failures: each node alternates exponential
+        up-times (mean ``mtbf_s``) and exponential repair times (mean
+        ``mttr_s``) until ``horizon_s``.  The same seed always yields
+        the same plan; nodes are drawn in id order from one generator.
+        """
+        if num_nodes < 1:
+            raise ConfigError("num_nodes must be >= 1")
+        if mtbf_s <= 0 or mttr_s <= 0:
+            raise ConfigError("mtbf_s and mttr_s must be positive")
+        if horizon_s <= 0:
+            raise ConfigError("horizon_s must be positive")
+        rng = np.random.default_rng(seed)
+        faults: List[NodeFault] = []
+        for node_id in range(num_nodes):
+            t = float(rng.exponential(mtbf_s))
+            while t < horizon_s:
+                down = float(rng.exponential(mttr_s))
+                faults.append(
+                    NodeFault(
+                        node_id=node_id, fail_at=t, recover_at=t + down
+                    )
+                )
+                t = t + down + float(rng.exponential(mtbf_s))
+        return cls(
+            node_faults=tuple(faults),
+            profile_outages=profile_outages,
+            retry=retry,
+        )
+
+
+def parse_fault_spec(spec: str, num_nodes: int) -> FaultPlan:
+    """Parse the CLI's ``--faults`` spec into a plan.
+
+    The spec is a comma-separated key=value list, e.g.
+    ``mtbf=3600,mttr=300,seed=7,horizon=100000,retries=3,backoff=30``.
+    ``mtbf`` is required; ``mttr`` defaults to 10 % of the MTBF,
+    ``horizon`` to 50 MTBFs, ``seed`` to 1, and the retry knobs to the
+    :class:`RetryPolicy` defaults.
+    """
+    fields: Dict[str, str] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or not value:
+            raise ConfigError(f"malformed --faults entry {part!r}")
+        fields[key.strip()] = value.strip()
+    known = {"mtbf", "mttr", "seed", "horizon", "retries", "backoff"}
+    unknown = set(fields) - known
+    if unknown:
+        raise ConfigError(
+            f"unknown --faults keys {sorted(unknown)}; known: {sorted(known)}"
+        )
+    if "mtbf" not in fields:
+        raise ConfigError("--faults needs mtbf=<seconds>")
+    try:
+        mtbf = float(fields["mtbf"])
+        mttr = float(fields.get("mttr", mtbf * 0.1))
+        horizon = float(fields.get("horizon", mtbf * 50))
+        seed = int(fields.get("seed", 1))
+        retries = int(fields.get("retries", RetryPolicy().max_retries))
+        backoff = float(fields.get("backoff", RetryPolicy().backoff_s))
+    except ValueError as exc:
+        raise ConfigError(f"malformed --faults value: {exc}") from None
+    return FaultPlan.from_mtbf(
+        seed=seed,
+        num_nodes=num_nodes,
+        mtbf_s=mtbf,
+        mttr_s=mttr,
+        horizon_s=horizon,
+        retry=RetryPolicy(max_retries=retries, backoff_s=backoff),
+    )

@@ -1,0 +1,38 @@
+"""Availability metrics: what node failures cost a policy.
+
+Fault injection (DESIGN.md §8) splits consumed node-seconds into
+*goodput* (final, successful attempts) and *badput* (attempts a node
+failure killed).  These helpers aggregate the split across runs and
+express the makespan cost of running under failures relative to the
+same workload on a healthy cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import SimulationError
+from repro.metrics.means import arithmetic_mean
+from repro.sim.runtime import SimulationResult
+
+
+def makespan_stretch(faulty: SimulationResult,
+                     fault_free: SimulationResult) -> float:
+    """Makespan under faults over fault-free makespan (>= 1.0 in
+    expectation: lost work must be redone on less capacity)."""
+    if fault_free.makespan <= 0:
+        raise SimulationError("fault-free makespan must be positive")
+    return faulty.makespan / fault_free.makespan
+
+def mean_badput_fraction(results: Sequence[SimulationResult]) -> float:
+    """Average badput share across a batch of runs."""
+    return arithmetic_mean([r.badput_fraction() for r in results])
+
+
+def completion_rate(result: SimulationResult) -> float:
+    """Fraction of submitted jobs that finished (the rest exhausted
+    their retry budget and failed)."""
+    total = len(result.jobs)
+    if total == 0:
+        raise SimulationError("no jobs in result")
+    return len(result.finished_jobs) / total

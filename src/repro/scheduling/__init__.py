@@ -15,6 +15,8 @@ SNS       auto   S        cores + LLC ways + memory bandwidth,
 ========  =====  =======  ===========================================
 """
 
+from typing import Dict, Type
+
 from repro.scheduling.base import BaseScheduler
 from repro.scheduling.demand import ResourceDemand, estimate_demand
 from repro.scheduling.placement import find_nodes, split_procs
@@ -24,7 +26,20 @@ from repro.scheduling.cs import CompactShareScheduler
 from repro.scheduling.sns import SpreadNShareScheduler
 from repro.scheduling.online_sns import OnlineSpreadNShareScheduler
 
+#: Policies compared throughout the evaluation ("CE-BF" is the extra
+#: EASY-backfilling baseline beyond the paper's trio).  Every entry
+#: constructs through the uniform ``(cluster_spec, config, *,
+#: database=None)`` signature; harnesses resolve names here (see
+#: ``Simulation.from_policy_name``).
+POLICIES: Dict[str, Type[BaseScheduler]] = {
+    "CE": CompactExclusiveScheduler,
+    "CE-BF": CompactExclusiveBackfillScheduler,
+    "CS": CompactShareScheduler,
+    "SNS": SpreadNShareScheduler,
+}
+
 __all__ = [
+    "POLICIES",
     "BaseScheduler",
     "ResourceDemand",
     "estimate_demand",

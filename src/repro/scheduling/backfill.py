@@ -55,6 +55,11 @@ class CompactExclusiveBackfillScheduler(BaseScheduler):
     def on_job_finish(self, job: Job, now: float) -> None:
         self._running.pop(job.job_id, None)
 
+    def on_job_evict(self, job: Job, now: float) -> None:
+        # An evicted job is no longer running: drop its reservation
+        # input so backfill never waits on a run that was killed.
+        self._running.pop(job.job_id, None)
+
     # -- placement helpers -----------------------------------------------------
 
     def _footprint(self, job: Job) -> Optional[int]:

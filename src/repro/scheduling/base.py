@@ -17,33 +17,50 @@ from repro.config import SchedulerConfig
 from repro.errors import SchedulingError
 from repro.hardware.topology import ClusterSpec
 from repro.perfmodel import memo
+from repro.profiling.database import ProfileDatabase
 from repro.sim.cluster import ClusterState
 from repro.sim.job import Job, Placement
 from repro.sim.runtime import Decision
 
 
 class BaseScheduler(abc.ABC):
-    """Shared queue mechanics; policies implement :meth:`_try_place`."""
+    """Shared queue mechanics; policies implement :meth:`_try_place`.
+
+    Every policy constructs through the same signature —
+    ``(cluster_spec, config, *, database=None)`` — so harnesses can
+    instantiate any registry entry identically.  Policies that do not
+    consult profiles (CE, CS) simply ignore the database.
+    """
 
     #: Whether nodes run CAT-partitioned (overridden by SNS).
     partitioned: bool = False
 
     def __init__(self, cluster_spec: ClusterSpec,
-                 config: SchedulerConfig = SchedulerConfig()) -> None:
+                 config: SchedulerConfig = SchedulerConfig(), *,
+                 database: Optional[ProfileDatabase] = None) -> None:
         self.cluster_spec = cluster_spec
         self.config = config
+        self.database = database
         # Node-model knobs the runtime forwards to ClusterState; only
         # meaningful for partitioned (SNS-family) policies.
         self.enforce_bw = config.enforce_bw and self.partitioned
         self.share_residual = config.share_residual
+        # Fault-injection state (DESIGN.md §8): whether the profile
+        # store is reachable, and a counter bumped on every transition
+        # so skip-index / demand-cache entries recorded under the other
+        # availability state are never honored.
+        self.profile_store_up = True
+        self._fault_epoch = 0
         # Pending-queue skip index: a job that failed to place is
-        # remembered with (release epoch, feasibility version) and the
-        # minimum per-node free cores any of its candidate placements
-        # needs.  Placements only consume resources, so while no slice
-        # has been removed (same epoch) — or while no node has enough
-        # free cores for even the job's cheapest shape — re-running
-        # _try_place must fail again and is skipped.  See DESIGN.md §7.
-        self._skip: Dict[int, Tuple[Tuple[int, int], Optional[int]]] = {}
+        # remembered with (release epoch, availability version,
+        # feasibility version) and the minimum per-node free cores any
+        # of its candidate placements needs.  Placements only consume
+        # resources, so while no slice has been removed (same epoch),
+        # no node failed or recovered (same availability version) — or
+        # while no node has enough free cores for even the job's
+        # cheapest shape — re-running _try_place must fail again and is
+        # skipped.  See DESIGN.md §7.
+        self._skip: Dict[int, Tuple[tuple, Optional[int]]] = {}
         self._skip_cluster: Optional[ClusterState] = None
         self._fail_watermark: Optional[int] = None
         #: Queue instrumentation, surfaced on SimulationResult.
@@ -53,12 +70,31 @@ class BaseScheduler(abc.ABC):
             "demand_cache_hits": 0,
         }
 
-    def _feasibility_version(self) -> int:
+    def _feasibility_version(self):
         """Version of policy-internal state that can flip a pending
         job's feasibility without any cluster release (the online
-        profile store).  Skip-index entries recorded under a different
-        version are ignored."""
-        return 0
+        profile store, profile-store outages).  Skip-index entries
+        recorded under a different version are ignored."""
+        return self._fault_epoch
+
+    # -- runtime hooks (SchedulerPolicy protocol) -------------------------------
+
+    def on_job_finish(self, job: Job, now: float) -> None:
+        """Called by the runtime when a job completes; policies with
+        per-run state (backfill reservations, online profiling trials)
+        override this."""
+
+    def on_job_evict(self, job: Job, now: float) -> None:
+        """Called by the runtime when a node failure evicts a running
+        job, after its slices were removed but before it requeues."""
+
+    def set_profile_store_available(self, up: bool) -> None:
+        """Fault-plan hook: toggle profile-store reachability.  Bumps
+        the feasibility version so stale skip/demand records die; only
+        the SNS family changes placement behavior in response."""
+        if up != self.profile_store_up:
+            self.profile_store_up = up
+            self._fault_epoch += 1
 
     # -- queue mechanics ------------------------------------------------------
 
@@ -83,6 +119,7 @@ class BaseScheduler(abc.ABC):
                 self._skip.clear()
                 self._skip_cluster = cluster
             epoch = cluster.release_epoch
+            avail = cluster.availability_version
             max_free = cluster.max_free_cores()
         for job in queue:
             if use_skip:
@@ -90,8 +127,9 @@ class BaseScheduler(abc.ABC):
                 if record is not None:
                     # The feasibility version is re-read per job: a trial
                     # placement earlier in this same point can bump it.
-                    (r_epoch, r_version), c_min = record
-                    if r_version == self._feasibility_version() and (
+                    (r_epoch, r_avail, r_version), c_min = record
+                    if r_version == self._feasibility_version() \
+                            and r_avail == avail and (
                         r_epoch == epoch
                         or (c_min is not None and max_free < c_min)
                     ):
@@ -114,7 +152,7 @@ class BaseScheduler(abc.ABC):
                 continue
             if use_skip:
                 self._skip[job.job_id] = (
-                    (epoch, self._feasibility_version()),
+                    (epoch, avail, self._feasibility_version()),
                     self._fail_watermark,
                 )
             skipped.append(job)

@@ -4,6 +4,10 @@ Every job runs at scale factor 1 on fully idle nodes; allocated nodes are
 dedicated — no other job may touch them while the job runs.  Processes
 are spread evenly across the minimum footprint (a 32-process job on
 28-core nodes uses 2 nodes x 16 cores, Fig 8).
+
+Under fault injection, down nodes are absent from the cluster's
+free-core index, so ``idle_count`` / ``first_idle`` naturally see only
+surviving capacity — CE needs no fault-specific logic of its own.
 """
 
 from __future__ import annotations

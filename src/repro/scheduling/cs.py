@@ -5,7 +5,9 @@ filled with other jobs — but keeps the compact instinct: it prefers
 scale factor 1 and only spreads a job further when no placement at the
 current scale is available ("the lowest scale factor currently
 possible").  It accounts cores only: no LLC or bandwidth awareness, no
-CAT actuation.
+CAT actuation.  Down nodes (fault injection) are invisible to
+``find_nodes`` via the free-core index, so CS degrades to the surviving
+capacity without policy-side changes.
 """
 
 from __future__ import annotations

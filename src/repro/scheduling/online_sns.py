@@ -20,8 +20,8 @@ from typing import Dict, Optional
 from repro.config import SchedulerConfig
 from repro.errors import ProfileError
 from repro.hardware.topology import ClusterSpec
+from repro.profiling.database import ProfileDatabase
 from repro.profiling.online import OnlineProfileStore
-from repro.scheduling.placement import split_procs
 from repro.scheduling.sns import SpreadNShareScheduler
 from repro.sim.cluster import ClusterState
 from repro.sim.job import Job
@@ -42,9 +42,11 @@ class OnlineSpreadNShareScheduler(SpreadNShareScheduler):
         self,
         cluster_spec: ClusterSpec,
         config: SchedulerConfig = SchedulerConfig(),
+        *,
+        database: Optional[ProfileDatabase] = None,
         store: Optional[OnlineProfileStore] = None,
     ) -> None:
-        super().__init__(cluster_spec, config)
+        super().__init__(cluster_spec, config, database=database)
         self.store = store if store is not None else OnlineProfileStore(
             spec=cluster_spec.node,
             max_cluster_nodes=cluster_spec.num_nodes,
@@ -57,26 +59,30 @@ class OnlineSpreadNShareScheduler(SpreadNShareScheduler):
     def _get_profile(self, job: Job):
         return self.store.profile(job.program, job.procs)
 
-    def _feasibility_version(self) -> int:
+    def _feasibility_version(self):
         # A begin/abort/record on the store can flip a pending job's
         # branch in _try_place without any cluster release, so skip-index
-        # records and demand-cache entries must not outlive it.
-        return self.store.version
+        # records and demand-cache entries must not outlive it — and
+        # neither must they outlive a profile-store outage transition.
+        return (self.store.version, self._fault_epoch)
 
     # -- placement -------------------------------------------------------------
 
     def _try_place(
         self, cluster: ClusterState, job: Job, now: float
     ) -> Optional[Decision]:
+        if not self.profile_store_up:
+            # Store outage: no recording, no exploration — every job
+            # runs at the CE-style safe default until the store is back.
+            return self._place_exclusive(cluster, job, scale=1)
         if self.store.exploration_complete(job.program, job.procs):
             return super()._try_place(cluster, job, now)
         scale = self.store.next_trial_scale(job.program, job.procs)
         if scale is None:
             # A trial is in flight: run this instance at the CE-style
             # default without recording.
-            return self._place_exclusive(cluster, job, scale=1,
-                                         record=False)
-        decision = self._place_exclusive(cluster, job, scale, record=True)
+            return self._place_exclusive(cluster, job, scale=1)
+        decision = self._place_exclusive(cluster, job, scale)
         if decision is not None:
             self.store.begin_trial(job.program, job.procs, scale)
             self._trials[job.job_id] = _Trial(
@@ -84,31 +90,7 @@ class OnlineSpreadNShareScheduler(SpreadNShareScheduler):
             )
         return decision
 
-    def _place_exclusive(
-        self, cluster: ClusterState, job: Job, scale: int, record: bool
-    ) -> Optional[Decision]:
-        """Place the job on fully idle nodes, booking the whole LLC and
-        bandwidth so nothing co-locates (exclusive profiling run)."""
-        spec = self.cluster_spec.node
-        # Exclusive runs need fully idle nodes: until one frees up, the
-        # skip index can pass this job over.
-        self._fail_watermark = spec.cores
-        n_nodes = scale * self._base_nodes(job)
-        if not self._valid_footprint(job, n_nodes):
-            return None
-        if cluster.idle_count() < n_nodes:
-            return None
-        chosen = cluster.first_idle(n_nodes)
-        procs_per_node = split_procs(job.procs, chosen)
-        decision = self._install(
-            cluster, job, chosen, procs_per_node,
-            ways=spec.llc_ways, bw_per_node=spec.peak_bw,
-            scale_factor=scale,
-        )
-        self._sanity_check_decision(decision)
-        return decision
-
-    # -- completion hook ----------------------------------------------------------
+    # -- completion / eviction hooks -------------------------------------------
 
     def on_job_finish(self, job: Job, now: float) -> None:
         """Called by the runtime when a job completes; folds finished
@@ -124,3 +106,11 @@ class OnlineSpreadNShareScheduler(SpreadNShareScheduler):
         except ProfileError:
             self.store.abort_trial(job.program, job.procs)
             raise
+
+    def on_job_evict(self, job: Job, now: float) -> None:
+        """A node failure killed this run: if it was an exploration
+        trial, abort it so the ladder does not wait forever on a run
+        that will never report."""
+        trial = self._trials.pop(job.job_id, None)
+        if trial is not None:
+            self.store.abort_trial(job.program, job.procs)

@@ -9,6 +9,12 @@ whole cluster second, idlest (lowest ``Co + Bo + beta*Wo``) selected.
 The first scale with a feasible placement wins; the job's ways are CAT-
 partitioned and its bandwidth booking is deducted from the chosen nodes.
 If no scale fits, the job is delayed under the aging policy.
+
+Degraded mode (DESIGN.md §8): when the profile store is unreachable
+(fault-plan outage) or a job's profile is missing, SNS cannot estimate
+demands — it falls back to CE-style *exclusive* placement at scale 1,
+booking the whole LLC and memory bandwidth of fully idle nodes so the
+unprofiled job can neither suffer nor inflict interference.
 """
 
 from __future__ import annotations
@@ -41,10 +47,12 @@ class SpreadNShareScheduler(BaseScheduler):
         self,
         cluster_spec: ClusterSpec,
         config: SchedulerConfig = SchedulerConfig(),
+        *,
         database: Optional[ProfileDatabase] = None,
     ) -> None:
-        super().__init__(cluster_spec, config)
-        self.database = database if database is not None else ProfileDatabase()
+        super().__init__(cluster_spec, config, database=database)
+        if self.database is None:
+            self.database = ProfileDatabase()
         # Demand estimation is a pure function of (program, procs,
         # alpha) plus the profile behind it, yet the scheduler used to
         # re-walk the profile curves for every candidate scale of every
@@ -105,12 +113,46 @@ class SpreadNShareScheduler(BaseScheduler):
             candidates.append((k, demand))
         return tuple(candidates)
 
+    def _place_exclusive(
+        self, cluster: ClusterState, job: Job, scale: int
+    ) -> Optional[Decision]:
+        """CE-style exclusive placement on fully idle nodes, booking the
+        whole LLC and memory bandwidth so nothing co-locates.  Used for
+        profiling trial runs (online SNS) and as the degraded path when
+        no profile is available."""
+        spec = self.cluster_spec.node
+        # Exclusive runs need fully idle nodes: until one frees up, the
+        # skip index can pass this job over.
+        self._fail_watermark = spec.cores
+        n_nodes = scale * self._base_nodes(job)
+        if not self._valid_footprint(job, n_nodes):
+            return None
+        if cluster.idle_count() < n_nodes:
+            return None
+        chosen = cluster.first_idle(n_nodes)
+        procs_per_node = split_procs(job.procs, chosen)
+        decision = self._install(
+            cluster, job, chosen, procs_per_node,
+            ways=spec.llc_ways, bw_per_node=spec.peak_bw,
+            scale_factor=scale,
+        )
+        self._sanity_check_decision(decision)
+        return decision
+
     def _try_place(
         self, cluster: ClusterState, job: Job, now: float
     ) -> Optional[Decision]:
         spec = self.cluster_spec.node
+        if not self.profile_store_up:
+            # Profile store down (fault-plan outage): no demand
+            # estimates exist — degrade to exclusive placement.
+            return self._place_exclusive(cluster, job, scale=1)
         alpha = job.alpha if job.alpha is not None else self.config.default_alpha
         candidates = self._scale_candidates(job, alpha)
+        if candidates is None:
+            # Profile lookup failed outright: degrade rather than
+            # starve the job behind an error it cannot outwait.
+            return self._place_exclusive(cluster, job, scale=1)
         if not candidates:
             return None
 

@@ -56,8 +56,17 @@ class ClusterState:
     #: Monotone counter bumped on every slice removal.  Placements only
     #: consume capacity, so between two removals a job that failed to
     #: place cannot become feasible — the schedulers' pending-queue skip
-    #: index keys off this epoch (DESIGN.md §7).
+    #: index keys off this epoch (DESIGN.md §7).  Node *recovery* also
+    #: bumps it: a rejoining node adds capacity exactly like a release.
     release_epoch: int = field(default=0, init=False)
+    #: Monotone counter bumped on every node failure or recovery; the
+    #: schedulers fold it into their skip-index feasibility check so
+    #: records straddling an availability change are never honored.
+    availability_version: int = field(default=0, init=False)
+    #: Down-node mask (insertion-ordered for deterministic iteration).
+    #: Down nodes are absent from the free-core index, so every
+    #: placement path (bucket scans, idle queries) skips them natively.
+    _down: Dict[int, None] = field(init=False)
     #: Arbitration/scan instrumentation, surfaced on SimulationResult.
     counters: Dict[str, int] = field(init=False)
 
@@ -77,6 +86,7 @@ class ClusterState:
         }
         self._arb_cache = {}
         self._view_cache = {}
+        self._down = {}
         self.counters = {
             "arb_requests": 0,
             "arb_cache_hits": 0,
@@ -156,6 +166,58 @@ class ClusterState:
         self._arb_cache.pop(node_id, None)
         self._dirty[node_id] = None
         self.release_epoch += 1
+
+    # -- availability (fault injection, DESIGN.md §8) ---------------------------
+
+    def fail_node(self, node_id: int) -> None:
+        """Take a node down.  The caller (the runtime's ``NODE_FAIL``
+        handler) must have evicted every resident slice first; the node
+        is then pulled out of the free-core index so no placement path
+        can see it until :meth:`recover_node`."""
+        if node_id in self._down:
+            raise SimulationError(f"node {node_id} is already down")
+        node = self.nodes[node_id]
+        if node._residents:
+            raise SimulationError(
+                f"cannot fail node {node_id} with resident slices"
+            )
+        free = node.free_cores
+        buckets = self._by_free_cores
+        try:
+            bucket = buckets[free]
+            del bucket[node_id]
+        except KeyError:
+            raise SimulationError("free-core index out of sync") from None
+        if not bucket:
+            del buckets[free]
+        self._bucket_arrays.pop(free, None)
+        self._down[node_id] = None
+        self.availability_version += 1
+
+    def recover_node(self, node_id: int) -> None:
+        """Bring a failed node back, empty.  Recovery adds capacity the
+        way a slice removal does, so it bumps ``release_epoch`` (the
+        find_nodes negative cache and the skip index must both forget
+        failures recorded against the smaller cluster)."""
+        if node_id not in self._down:
+            raise SimulationError(f"node {node_id} is not down")
+        del self._down[node_id]
+        free = self.nodes[node_id].free_cores
+        bucket = self._by_free_cores.get(free)
+        if bucket is None:
+            self._by_free_cores[free] = {node_id: None}
+        else:
+            bucket[node_id] = None
+        self._bucket_arrays.pop(free, None)
+        self.availability_version += 1
+        self.release_epoch += 1
+
+    def is_down(self, node_id: int) -> bool:
+        return node_id in self._down
+
+    def down_nodes(self) -> List[int]:
+        """Currently failed node ids (deterministic insertion order)."""
+        return list(self._down)
 
     def _flush_arrays(self) -> None:
         dirty = self._dirty
@@ -320,12 +382,12 @@ class ClusterState:
         )
 
     def max_free_cores(self) -> int:
-        """Largest free-core count of any node (O(buckets)).  This is
-        the cluster headroom watermark the schedulers' skip index
+        """Largest free-core count of any *up* node (O(buckets)).  This
+        is the cluster headroom watermark the schedulers' skip index
         compares failed jobs against."""
-        # Every node sits in exactly one bucket and empty buckets are
-        # deleted, so the key set is never empty.
-        return max(self._by_free_cores)
+        # Every up node sits in exactly one bucket and empty buckets are
+        # deleted; the key set is only empty when every node is down.
+        return max(self._by_free_cores, default=0)
 
     def total_free_cores(self) -> int:
         # O(buckets): every node sits in exactly one free-core bucket.
@@ -477,9 +539,13 @@ class ClusterState:
                     )
                 if nid in seen:
                     raise SimulationError(f"node {nid} indexed twice")
+                if nid in self._down:
+                    raise SimulationError(f"down node {nid} is indexed")
                 seen.add(nid)
-        if len(seen) != len(self.nodes):
-            raise SimulationError("free-core index does not cover all nodes")
+        if len(seen) != len(self.nodes) - len(self._down):
+            raise SimulationError(
+                "free-core index does not cover all up nodes"
+            )
 
     def resident_jobs_on(self, node_ids: Iterable[int]) -> Set[int]:
         """Union of job ids resident on the given nodes."""

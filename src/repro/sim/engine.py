@@ -19,14 +19,25 @@ from repro.errors import SimulationError
 
 class EventKind(enum.IntEnum):
     """Event types, ordered so ties at equal timestamps resolve sensibly:
-    finishes free resources before submissions claim them."""
+    finishes free resources first (a job completing at the instant its
+    node dies still completes), then faults take effect, then recoveries
+    and profile-store transitions, and submissions claim resources last
+    (so a submit never lands on a node that dies at the same instant)."""
 
     JOB_FINISH = 0
-    JOB_SUBMIT = 1
+    NODE_FAIL = 1
+    NODE_RECOVER = 2
+    PROFILE_DOWN = 3
+    PROFILE_UP = 4
+    JOB_SUBMIT = 5
 
 
 @dataclass(frozen=True, order=True)
 class Event:
+    """One queue entry.  ``job_id`` carries the event's subject: a job
+    id for submit/finish events, a node id for ``NODE_FAIL`` /
+    ``NODE_RECOVER``, and ``-1`` for profile-store transitions."""
+
     time: float
     kind: EventKind
     seq: int
@@ -55,6 +66,20 @@ class EventQueue:
             raise SimulationError("cannot schedule event in the past")
         heapq.heappush(
             self._heap, Event(time, EventKind.JOB_SUBMIT, next(self._seq), job_id)
+        )
+
+    def push_fault(self, time: float, kind: EventKind,
+                   subject_id: int = -1) -> None:
+        """Schedule a fault-plan event (node fail/recover or a
+        profile-store transition).  Fault events are immutable facts of
+        the plan: they never version and are never cancelled."""
+        if kind not in (EventKind.NODE_FAIL, EventKind.NODE_RECOVER,
+                        EventKind.PROFILE_DOWN, EventKind.PROFILE_UP):
+            raise SimulationError(f"{kind!r} is not a fault event kind")
+        if time < self._now - 1e-9:
+            raise SimulationError("cannot schedule event in the past")
+        heapq.heappush(
+            self._heap, Event(time, kind, next(self._seq), subject_id)
         )
 
     def push_finish(self, time: float, job_id: int) -> None:

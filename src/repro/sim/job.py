@@ -11,11 +11,13 @@ from repro.errors import SimulationError
 
 
 class JobState(enum.Enum):
-    """Lifecycle of a batch job."""
+    """Lifecycle of a batch job.  ``FAILED`` is terminal: a job whose
+    node crashed and whose retry budget is exhausted."""
 
     PENDING = "pending"
     RUNNING = "running"
     FINISHED = "finished"
+    FAILED = "failed"
 
 
 @dataclass
@@ -81,6 +83,13 @@ class Job:
     # queue aging (Section 4.4)
     times_passed_over: int = field(default=0, init=False)
 
+    # fault accounting (DESIGN.md §8): attempts lost to node failures.
+    retries: int = field(default=0, init=False)
+    #: Wall node-seconds consumed by evicted attempts (badput).
+    lost_node_seconds: float = field(default=0.0, init=False)
+    #: Reference-seconds of work completed by evicted attempts.
+    lost_work: float = field(default=0.0, init=False)
+
     def __post_init__(self) -> None:
         if self.procs <= 0:
             raise SimulationError("job must have at least one process")
@@ -136,6 +145,33 @@ class Job:
         self.state = JobState.FINISHED
         self.finish_time = now
         self.remaining_work = 0.0
+
+    def evict(self, now: float) -> None:
+        """A node failure killed this run: charge the attempt's consumed
+        node-seconds and completed work to the loss counters and return
+        the job to ``PENDING`` so it can be resubmitted from scratch
+        (batch jobs restart; there is no checkpointing in the model)."""
+        if self.state is not JobState.RUNNING:
+            raise SimulationError(f"job {self.job_id} is not running")
+        assert self.placement is not None and self.start_time is not None
+        self.lost_node_seconds += (now - self.start_time) * self.placement.n_nodes
+        self.lost_work += self.total_work - self.remaining_work
+        self.retries += 1
+        self.state = JobState.PENDING
+        self.start_time = None
+        self.placement = None
+        self.scale_factor = 1
+        self.total_work = 0.0
+        self.remaining_work = 0.0
+        self.speed = 0.0
+        self.last_progress_update = now
+
+    def mark_failed(self, now: float) -> None:
+        """Terminal failure: retry budget exhausted after an eviction."""
+        if self.state is not JobState.PENDING:
+            raise SimulationError(f"job {self.job_id} is not pending")
+        self.state = JobState.FAILED
+        self.finish_time = now
 
     # -- reporting -----------------------------------------------------------
 

@@ -21,8 +21,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Set
 
-from repro.config import SimConfig
+from repro.config import RetryPolicy, SchedulerConfig, SimConfig
 from repro.errors import HardwareModelError, SimulationError
+from repro.faults.plan import FaultPlan
 from repro.hardware.topology import ClusterSpec
 from repro.perfmodel import batch, memo
 from repro.perfmodel.execution import (
@@ -52,17 +53,45 @@ class Decision:
 
 
 class SchedulerPolicy(Protocol):
-    """What the runtime needs from a scheduling policy."""
+    """What the runtime needs from a scheduling policy.
+
+    The protocol is the complete contract: the runtime reads every
+    member directly (no ``getattr`` probing), and
+    :class:`repro.scheduling.base.BaseScheduler` implements all of it —
+    the hook methods as no-ops — so concrete policies only override
+    what they care about.
+    """
 
     #: Whether nodes run with CAT way partitioning (SNS) or an
     #: unpartitioned shared LLC (CE / CS).
     partitioned: bool
+    #: Intel-MBA-style hard bandwidth partitioning (SNS ablation knob).
+    enforce_bw: bool
+    #: The paper's residual-way giveaway (Section 4.4 ablation knob).
+    share_residual: bool
+    #: Queue instrumentation merged into ``SimulationResult.counters``.
+    counters: Dict[str, int]
 
     def schedule_point(
         self, cluster: ClusterState, pending: Sequence[Job], now: float
     ) -> List[Decision]:
         """Place as many pending jobs as the policy wants; mutate the
         cluster via :meth:`ClusterState.place` and return the decisions."""
+        ...  # pragma: no cover
+
+    def on_job_finish(self, job: Job, now: float) -> None:
+        """Completion hook: lets policies piggyback profiling on
+        finished runs (paper Section 4.4) or retire reservations."""
+        ...  # pragma: no cover
+
+    def on_job_evict(self, job: Job, now: float) -> None:
+        """Fault hook: a node failure evicted this running job (its
+        slices are already gone; it requeues or fails afterwards)."""
+        ...  # pragma: no cover
+
+    def set_profile_store_available(self, up: bool) -> None:
+        """Fault hook: profile-store outage begins (``False``) or ends
+        (``True``); SNS degrades to exclusive placement while down."""
         ...  # pragma: no cover
 
 
@@ -84,6 +113,11 @@ class SimulationResult:
     def finished_jobs(self) -> List[Job]:
         return [j for j in self.jobs if j.state is JobState.FINISHED]
 
+    @property
+    def failed_jobs(self) -> List[Job]:
+        """Jobs that exhausted their retry budget under fault injection."""
+        return [j for j in self.jobs if j.state is JobState.FAILED]
+
     def mean_turnaround(self) -> float:
         jobs = self.finished_jobs
         if not jobs:
@@ -103,9 +137,34 @@ class SimulationResult:
             if j.placement is not None
         )
 
+    # -- fault accounting (DESIGN.md §8) -----------------------------------
+
+    def goodput_node_seconds(self) -> float:
+        """Node-seconds spent on runs that completed (the final,
+        successful attempt of each finished job)."""
+        return self.node_seconds()
+
+    def badput_node_seconds(self) -> float:
+        """Node-seconds burned by attempts a node failure killed —
+        work the cluster did and then threw away."""
+        return sum(j.lost_node_seconds for j in self.jobs)
+
+    def badput_fraction(self) -> float:
+        """Badput as a fraction of all node-seconds consumed; 0.0 for a
+        fault-free run (and for an empty one)."""
+        good = self.goodput_node_seconds()
+        bad = self.badput_node_seconds()
+        total = good + bad
+        return bad / total if total > 0 else 0.0
+
 
 class Simulation:
-    """One simulated execution of a job sequence under one policy."""
+    """One simulated execution of a job sequence under one policy.
+
+    ``fault_plan`` injects node failures, recoveries, and profile-store
+    outages (see :mod:`repro.faults`).  An empty or absent plan adds no
+    events and the run is bit-identical to a fault-free simulation.
+    """
 
     def __init__(
         self,
@@ -113,6 +172,7 @@ class Simulation:
         policy: SchedulerPolicy,
         jobs: Sequence[Job],
         config: SimConfig = SimConfig(),
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         ids = [j.job_id for j in jobs]
         if len(set(ids)) != len(ids):
@@ -120,8 +180,8 @@ class Simulation:
         self.cluster = ClusterState(
             cluster_spec,
             partitioned=policy.partitioned,
-            enforce_bw=getattr(policy, "enforce_bw", False),
-            share_residual=getattr(policy, "share_residual", True),
+            enforce_bw=policy.enforce_bw,
+            share_residual=policy.share_residual,
         )
         self.policy = policy
         self.config = config
@@ -150,9 +210,66 @@ class Simulation:
             "events_coalesced": 0,
             "refresh_cycles": 0,
             "nodes_refreshed": 0,
+            "node_failures": 0,
+            "node_recoveries": 0,
+            "job_evictions": 0,
+            "job_retries": 0,
+            "jobs_failed": 0,
+            "profile_outages": 0,
         }
+        # Count of terminal jobs (finished + failed): with a fault plan
+        # the event queue can outlive the workload (recoveries scheduled
+        # past the last completion), so the loop stops once every job is
+        # accounted for instead of draining pointless fault events.
+        self._terminal = 0
+        self.fault_plan = fault_plan
+        self._has_faults = bool(fault_plan)
+        self._retry = fault_plan.retry if fault_plan is not None \
+            else RetryPolicy()
+        if fault_plan is not None:
+            if fault_plan.max_node_id() >= cluster_spec.num_nodes:
+                raise SimulationError(
+                    f"fault plan names node {fault_plan.max_node_id()} "
+                    f"but the cluster has {cluster_spec.num_nodes} nodes"
+                )
+            for fault in fault_plan.node_faults:
+                self.events.push_fault(
+                    fault.fail_at, EventKind.NODE_FAIL, fault.node_id
+                )
+                if fault.recover_at is not None:
+                    self.events.push_fault(
+                        fault.recover_at, EventKind.NODE_RECOVER,
+                        fault.node_id,
+                    )
+            for outage in fault_plan.profile_outages:
+                self.events.push_fault(outage.start, EventKind.PROFILE_DOWN)
+                self.events.push_fault(outage.end, EventKind.PROFILE_UP)
         for job in jobs:
             self.events.push_submit(job.submit_time, job.job_id)
+
+    @classmethod
+    def from_policy_name(
+        cls,
+        policy_name: str,
+        cluster_spec: ClusterSpec,
+        jobs: Sequence[Job],
+        *,
+        scheduler_config: SchedulerConfig = SchedulerConfig(),
+        sim_config: SimConfig = SimConfig(),
+        database=None,
+        fault_plan: Optional[FaultPlan] = None,
+    ) -> "Simulation":
+        """Construct a simulation from a policy *name* (a key of
+        :data:`repro.scheduling.POLICIES`).  Every policy is built
+        through the uniform ``(cluster_spec, config, *, database=None)``
+        signature; unknown names raise ``KeyError``."""
+        from repro.scheduling import POLICIES
+
+        policy = POLICIES[policy_name](
+            cluster_spec, scheduler_config, database=database
+        )
+        return cls(cluster_spec, policy, jobs, sim_config,
+                   fault_plan=fault_plan)
 
     # ------------------------------------------------------------------ run
 
@@ -198,12 +315,23 @@ class Simulation:
             for ev in events:
                 if ev.kind is EventKind.JOB_SUBMIT:
                     self.pending.append(self.jobs[ev.job_id])
-                else:
+                elif ev.kind is EventKind.JOB_FINISH:
                     self._finish_job(self.jobs[ev.job_id], now,
                                      affected, touched)
+                elif ev.kind is EventKind.NODE_FAIL:
+                    self._handle_node_fail(ev.job_id, now,
+                                           affected, touched)
+                elif ev.kind is EventKind.NODE_RECOVER:
+                    self._handle_node_recover(ev.job_id)
+                else:  # PROFILE_DOWN / PROFILE_UP
+                    self._handle_profile_event(ev.kind)
                 self._scheduling_point(now, affected, touched)
             self._refresh(affected, touched, now)
             self._check_liveness()
+            if self._has_faults and self._terminal == len(self.jobs):
+                # Workload done: leftover fault events cannot change
+                # anything and would only inflate the makespan.
+                break
         if self.pending:
             raise SimulationError(
                 f"{len(self.pending)} jobs never scheduled (deadlock): "
@@ -227,9 +355,7 @@ class Simulation:
         counters = dict(self._counters)
         counters["events"] = self._events_processed
         counters.update(self.cluster.counters)
-        policy_counters = getattr(self.policy, "counters", None)
-        if policy_counters:
-            counters.update(policy_counters)
+        counters.update(self.policy.counters)
         for key, value in memo.stats_snapshot().items():
             counters[key] = value - memo_before.get(key, 0)
         for key, value in batch.counters_snapshot().items():
@@ -261,14 +387,69 @@ class Simulation:
         job.complete(now)
         self._job_conds.pop(job.job_id, None)
         self._running -= 1
+        self._terminal += 1
         touched.update(nodes)
         affected.update(residents)
         affected.discard(job.job_id)
         # Completion hook: lets policies piggyback profiling on finished
         # runs (paper Section 4.4: exclusive runs refresh the database).
-        hook = getattr(self.policy, "on_job_finish", None)
-        if hook is not None:
-            hook(job, now)
+        self.policy.on_job_finish(job, now)
+
+    # ------------------------------------------------------- fault handling
+
+    def _handle_node_fail(self, node_id: int, now: float,
+                          affected: Set[int], touched: Set[int]) -> None:
+        """A node dies: every resident job loses its run (all slices on
+        all its nodes are evicted and the attempt's work becomes
+        badput), then the node leaves the free-core index."""
+        self._counters["node_failures"] += 1
+        cluster = self.cluster
+        for jid in cluster.node(node_id).resident_job_ids:
+            self._evict_job(self.jobs[jid], now, affected, touched)
+        cluster.fail_node(node_id)
+        touched.add(node_id)
+
+    def _evict_job(self, job: Job, now: float,
+                   affected: Set[int], touched: Set[int]) -> None:
+        """Settle, tear down, and requeue (or fail) one running job hit
+        by a node failure."""
+        placement = job.placement
+        assert placement is not None
+        nodes = set(placement.node_ids)
+        residents = self._settle_residents(nodes, now)
+        for nid in placement.node_ids:
+            self.cluster.remove(nid, job.job_id)
+        self.events.cancel_finish(job.job_id)
+        job.evict(now)
+        self._job_conds.pop(job.job_id, None)
+        self._running -= 1
+        self._counters["job_evictions"] += 1
+        self.policy.on_job_evict(job, now)
+        touched.update(nodes)
+        residents.discard(job.job_id)
+        affected.update(residents)
+        affected.discard(job.job_id)
+        if job.retries <= self._retry.max_retries:
+            self._counters["job_retries"] += 1
+            self.events.push_submit(
+                now + self._retry.backoff_s, job.job_id
+            )
+        else:
+            job.mark_failed(now)
+            self._counters["jobs_failed"] += 1
+            self._terminal += 1
+
+    def _handle_node_recover(self, node_id: int) -> None:
+        """A failed node rejoins, empty; recovery is a scheduling point
+        (capacity appeared, exactly like a completion)."""
+        self.cluster.recover_node(node_id)
+        self._counters["node_recoveries"] += 1
+
+    def _handle_profile_event(self, kind: EventKind) -> None:
+        up = kind is EventKind.PROFILE_UP
+        if not up:
+            self._counters["profile_outages"] += 1
+        self.policy.set_profile_store_available(up)
 
     def _scheduling_point(self, now: float,
                           affected: Set[int], touched: Set[int]) -> None:
