@@ -14,6 +14,9 @@ Subcommands
     Schedule one random sequence and print the schedule summary.
     ``--faults mtbf=3600,mttr=300,seed=7`` injects seeded MTBF/MTTR node
     failures (see :func:`repro.faults.parse_fault_spec` for all keys).
+    ``--no-caches`` runs the unmemoized reference kernels
+    (``SimConfig(perf_caches=False)``) — bit-identical by contract, the
+    switch to flip when a result looks cache-shaped.
 """
 
 from __future__ import annotations
@@ -79,8 +82,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         parse_fault_spec(args.faults, cluster.num_nodes)
         if args.faults else None
     )
+    sim_config = SimConfig(
+        telemetry=False,
+        perf_caches=False if args.no_caches else None,
+    )
     result = run_policy(
-        args.policy, cluster, jobs, sim_config=SimConfig(telemetry=False),
+        args.policy, cluster, jobs, sim_config=sim_config,
         fault_plan=fault_plan,
     )
     print(f"{args.policy} on {args.nodes} nodes, {args.jobs} jobs "
@@ -147,6 +154,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--faults", default=None, metavar="SPEC",
         help="inject seeded node failures, e.g. mtbf=3600,mttr=300,seed=7"
              " (keys: mtbf, mttr, seed, horizon, retries, backoff)",
+    )
+    p_sim.add_argument(
+        "--no-caches", action="store_true",
+        help="run the unmemoized reference kernels "
+             "(SimConfig(perf_caches=False)); results are bit-identical",
     )
 
     return parser

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.errors import ConfigError
 
@@ -116,6 +116,14 @@ class SimConfig:
     max_sim_time: float = 1e9
     #: Record per-node bandwidth telemetry (costs memory on big runs).
     telemetry: bool = True
+    #: Perf-model cache mode of this run's :class:`PerfContext`.  ``True``
+    #: runs the memoized fast paths, ``False`` the unmemoized reference
+    #: kernels (bit-identical by contract; the switch to flip when
+    #: debugging a suspected cache-coherence bug).  ``None`` (default)
+    #: resolves at :class:`~repro.sim.runtime.Simulation` construction:
+    #: enabled unless the deprecated ``REPRO_DISABLE_PERF_CACHES``
+    #: environment variable is set at that moment.
+    perf_caches: Optional[bool] = None
 
     def __post_init__(self) -> None:
         if self.episode_seconds <= 0:

@@ -4,9 +4,14 @@ This package turns static program models (:mod:`repro.apps`) and node
 hardware models (:mod:`repro.hardware`) into the quantities the simulator
 and profiler observe: per-job execution speed, per-node DRAM bandwidth,
 IPC, and communication share.
+
+All mutable kernel state (memoization caches, statistics, the cache-mode
+flag) lives on :class:`repro.perfmodel.context.PerfContext`, owned by
+each simulation; the modules here are stateless.
 """
 
 from repro.perfmodel.batch import arbitrate_nodes
+from repro.perfmodel.context import MAX_ENTRIES, PerfContext, resolve_cache_mode
 from repro.perfmodel.contention import Slice, arbitrate_node, node_bandwidth_usage
 from repro.perfmodel.execution import (
     NodeConditions,
@@ -18,6 +23,9 @@ from repro.perfmodel.execution import (
 )
 
 __all__ = [
+    "MAX_ENTRIES",
+    "PerfContext",
+    "resolve_cache_mode",
     "Slice",
     "arbitrate_node",
     "arbitrate_nodes",

@@ -9,6 +9,11 @@ into numpy arrays, the elementwise algebra (LLC capacity, demand,
 MBA clipping, grant scaling) runs vectorized, and only the per-node
 segment reductions stay in Python.
 
+All kernel state — the memoized curve evaluations and the batch
+counters — lives on the :class:`repro.perfmodel.context.PerfContext`
+passed by the caller; the module itself is stateless, so concurrent
+simulations never share or race on anything here.
+
 Bit-identity with the scalar reference is a hard requirement (the
 equivalence gate in ``tests/test_perf_equivalence.py``), which dictates
 two implementation choices:
@@ -21,8 +26,8 @@ two implementation choices:
   so segment sums run over ``.tolist()`` slices in slice order, exactly
   like the reference's ``sum(demands.values())``.
 
-With caches disabled (``REPRO_DISABLE_PERF_CACHES``) every call routes
-through the scalar reference kernel per node.
+With the context's caches disabled (``SimConfig(perf_caches=False)``)
+every call routes through the scalar reference kernel per node.
 """
 
 from __future__ import annotations
@@ -33,36 +38,28 @@ import numpy as np
 
 from repro.errors import HardwareModelError
 from repro.hardware.node_spec import NodeSpec
-from repro.perfmodel import memo
+from repro.perfmodel.context import PerfContext
 from repro.perfmodel.contention import Slice, arbitrate_node, node_network_load
-
-#: Kernel instrumentation: batched calls, nodes and slices solved.
-counters = {"batch_calls": 0, "batch_nodes": 0, "batch_slices": 0}
-
-
-def reset_counters() -> None:
-    for key in counters:
-        counters[key] = 0
-
-
-def counters_snapshot() -> Dict[str, int]:
-    return dict(counters)
 
 
 def arbitrate_nodes(
-    spec: NodeSpec, tables: Sequence[Sequence[Slice]]
+    ctx: PerfContext, spec: NodeSpec, tables: Sequence[Sequence[Slice]]
 ) -> List[Tuple[Dict[int, float], float]]:
     """``(grants, network load)`` per node for a batch of slice tables.
 
     Bit-identical to calling ``(arbitrate_node(spec, slices),
     node_network_load(spec, slices))`` for each table in turn.
     """
-    if not memo.caches_enabled():
+    if not ctx.enabled:
         return [
-            (arbitrate_node(spec, slices), node_network_load(spec, slices))
+            (
+                arbitrate_node(spec, slices, ctx=ctx),
+                node_network_load(spec, slices),
+            )
             for slices in tables
         ]
 
+    counters = ctx.batch_counters
     counters["batch_calls"] += 1
     counters["batch_nodes"] += len(tables)
 
@@ -96,8 +93,8 @@ def arbitrate_nodes(
     core_peak = spec.bandwidth.core_peak
     per_proc = np.array(
         [
-            memo.demand_gbps_per_proc(s.program, caps_list[i], s.n_nodes,
-                                      core_peak)
+            ctx.demand_gbps_per_proc(s.program, caps_list[i], s.n_nodes,
+                                     core_peak)
             for i, s in enumerate(flat)
         ],
         dtype=np.float64,
@@ -119,14 +116,14 @@ def arbitrate_nodes(
         segment = demand_list[lo:hi]
         # Left-to-right Python sum == the reference's sum(demands.values()).
         total_demand = sum(segment)
-        supply = memo.bandwidth_supply(spec, node_procs[k])
+        supply = ctx.bandwidth_supply(spec, node_procs[k])
         if total_demand <= supply or total_demand == 0.0:
             grants = segment
         else:
             scale = supply / total_demand
             grants = (demand[lo:hi] * scale).tolist()
         net_load = sum(
-            memo.network_fraction(s.program, s.n_nodes)
+            ctx.network_fraction(s.program, s.n_nodes)
             for s in slices
             if s.n_nodes > 1
         )

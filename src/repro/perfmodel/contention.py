@@ -17,11 +17,14 @@ here — arbitration is a physical model, not a scheduler-enforced limit.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, Optional, Sequence
 
 from repro.errors import HardwareModelError
 from repro.apps.program import ProgramSpec
 from repro.hardware.node_spec import NodeSpec
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perfmodel.context import PerfContext
 
 
 @dataclass(frozen=True)
@@ -58,23 +61,33 @@ class Slice:
         """Per-process LLC capacity (MB) of this slice on ``spec``."""
         return spec.cache.ways_to_mb(self.effective_ways) / self.procs
 
-    def demand_gbps(self, spec: NodeSpec) -> float:
-        """Unconstrained DRAM demand of the whole slice (GB/s)."""
-        from repro.perfmodel import memo
+    def demand_gbps(self, spec: NodeSpec,
+                    ctx: Optional["PerfContext"] = None) -> float:
+        """Unconstrained DRAM demand of the whole slice (GB/s).
 
+        ``ctx`` memoizes the underlying demand-curve evaluation; without
+        one the curve is evaluated directly (the reference path)."""
         cap = self.capacity_per_proc_mb(spec)
-        per_proc = memo.demand_gbps_per_proc(
-            self.program, cap, self.n_nodes, spec.bandwidth.core_peak
-        )
+        if ctx is None:
+            per_proc = self.program.demand_gbps_per_proc(
+                cap, self.n_nodes, core_peak_bw=spec.bandwidth.core_peak
+            )
+        else:
+            per_proc = ctx.demand_gbps_per_proc(
+                self.program, cap, self.n_nodes, spec.bandwidth.core_peak
+            )
         return per_proc * self.procs
 
 
-def arbitrate_node(spec: NodeSpec, slices: Sequence[Slice]) -> Dict[int, float]:
+def arbitrate_node(spec: NodeSpec, slices: Sequence[Slice],
+                   ctx: Optional["PerfContext"] = None) -> Dict[int, float]:
     """Granted DRAM bandwidth (GB/s) per job on one node.
 
     Supply is the node's saturating aggregate for the total number of
     active cores; if total demand exceeds supply, each job receives a
-    share proportional to its demand.
+    share proportional to its demand.  ``ctx`` memoizes the demand-curve
+    evaluations; arbitration itself always runs from scratch here (the
+    cached whole-node kernel is :meth:`PerfContext.node_arbitration`).
     """
     if not slices:
         return {}
@@ -89,7 +102,7 @@ def arbitrate_node(spec: NodeSpec, slices: Sequence[Slice]) -> Dict[int, float]:
 
     demands = {}
     for s in slices:
-        demand = s.demand_gbps(spec)
+        demand = s.demand_gbps(spec, ctx)
         if s.bw_cap is not None:
             demand = min(demand, s.bw_cap)  # MBA-style hard throttle
         demands[s.job_id] = demand
@@ -116,17 +129,19 @@ def node_network_load(spec: NodeSpec, slices: Sequence[Slice]) -> float:
     )
 
 
-def node_bandwidth_usage(spec: NodeSpec, slices: Sequence[Slice]) -> float:
+def node_bandwidth_usage(spec: NodeSpec, slices: Sequence[Slice],
+                         ctx: Optional["PerfContext"] = None) -> float:
     """Achieved DRAM bandwidth on the node (GB/s) — the telemetry signal
     behind the paper's Figs 17/18 heat maps.
 
     Achieved equals granted: an uncontended job draws exactly its demand,
-    a contended one draws its proportional share.  Grants come from the
-    memoized arbitration kernel (bit-identical to re-arbitrating from
-    scratch; the cached grants are stored in slice order, so the sum
-    adds in the same order as the reference).
+    a contended one draws its proportional share.  With a ``ctx`` the
+    grants come from its memoized arbitration kernel (bit-identical to
+    re-arbitrating from scratch; cached grants are stored in slice
+    order, so the sum adds in the same order as the reference).
     """
-    from repro.perfmodel import memo
-
-    grants, _ = memo.node_arbitration(spec, slices)
+    if ctx is None:
+        grants = arbitrate_node(spec, slices)
+    else:
+        grants, _ = ctx.node_arbitration(spec, slices)
     return sum(grants.values())

@@ -1,0 +1,321 @@
+"""Per-simulation performance-model context.
+
+:class:`PerfContext` owns every piece of mutable kernel state the fast
+paths of the simulator rely on: the five exact memoization caches of the
+performance model (demand curves, process rates, node arbitration,
+network fractions, bandwidth supply), their hit/miss statistics, the
+batched-kernel counters, the ``max_entries`` eviction policy, and the
+``enabled`` flag that routes every call to the unmemoized reference
+kernels when cleared.
+
+Each :class:`repro.sim.runtime.Simulation` constructs its own context
+and threads it through every layer that consults kernel state
+(``ClusterState`` at construction, the schedulers via ``cluster.ctx``,
+``job_time`` / ``arbitrate_nodes`` as an explicit argument).  Nothing is
+process-global: two simulations in one process — including two running
+concurrently on different threads — can never observe each other's
+cache entries, statistics, or cache-mode flag, which is what makes the
+thread-based grid runner (:mod:`repro.experiments.concurrent`)
+bit-identical to serial execution by construction.
+
+Cache semantics are unchanged from the original module-global design
+(see DESIGN.md §7): every cache is exact — a hit returns the
+bit-identical float the reference computation would produce — programs
+are keyed by identity with strong references held and verified with
+``is`` on lookup, and node arbitration is keyed by the order-preserving
+slice signature.
+
+Cache mode is resolved once per simulation by
+:func:`resolve_cache_mode`: an explicit ``SimConfig.perf_caches`` wins;
+otherwise the deprecated ``REPRO_DISABLE_PERF_CACHES`` environment
+variable is consulted *at that moment* (not at import time, so setting
+it after ``import repro`` works — with a ``DeprecationWarning``).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional, Sequence, Tuple
+
+from repro.hardware.node_spec import NodeSpec
+
+#: Default safety valve: a cache that somehow exceeds this many entries
+#: is cleared wholesale (distinct signatures are bounded in practice, so
+#: this should never trigger outside adversarial workloads).
+MAX_ENTRIES = 1 << 20
+
+#: Deprecated environment kill-switch; ``SimConfig.perf_caches`` is the
+#: supported control.
+ENV_DISABLE = "REPRO_DISABLE_PERF_CACHES"
+
+
+def resolve_cache_mode(perf_caches: Optional[bool] = None) -> bool:
+    """Resolve the cache mode for one simulation, *now*.
+
+    An explicit ``perf_caches`` (``SimConfig.perf_caches``) wins.  When
+    it is ``None`` the deprecated ``REPRO_DISABLE_PERF_CACHES``
+    environment variable is read at call time — per run, never at
+    import — and a ``DeprecationWarning`` points at the config field.
+    """
+    if perf_caches is not None:
+        return bool(perf_caches)
+    if os.environ.get(ENV_DISABLE, "") != "":
+        warnings.warn(
+            f"{ENV_DISABLE} is deprecated; pass "
+            "SimConfig(perf_caches=False) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        return False
+    return True
+
+
+def slice_signature(slices: Sequence) -> tuple:
+    """Job-id-independent signature of a node's slice sequence.
+
+    The signature is *order-preserving*, not sorted: bandwidth
+    arbitration sums demands in slice order, and floating-point addition
+    is not associative, so canonicalizing the order could alias two
+    nodes whose reference results differ in the last ulp.  Nodes that
+    receive the same job mix in the same order — the case mass-produced
+    by wide-job placement on big clusters — share an entry either way.
+    """
+    return tuple(
+        (
+            s.program.name, id(s.program), s.procs, s.effective_ways,
+            s.n_nodes, -1.0 if s.bw_cap is None else s.bw_cap,
+        )
+        for s in slices
+    )
+
+
+class PerfContext:
+    """All mutable perf-model kernel state of one simulation.
+
+    The kernel wrappers (:meth:`demand_gbps_per_proc`,
+    :meth:`process_rate`, :meth:`node_arbitration`,
+    :meth:`network_fraction`, :meth:`bandwidth_supply`) are exact
+    caches: with ``enabled`` cleared they route straight to the
+    reference kernels, and a hit always returns the bit-identical value
+    the reference would produce.
+    """
+
+    __slots__ = (
+        "enabled", "max_entries",
+        "_demand_cache", "_rate_cache", "_node_cache",
+        "_net_cache", "_supply_cache",
+        "_stats", "batch_counters",
+    )
+
+    def __init__(self, enabled: bool = True,
+                 max_entries: int = MAX_ENTRIES) -> None:
+        self.enabled = bool(enabled)
+        self.max_entries = max_entries
+        # (id(program), capacity_mb, n_nodes, core_peak) -> (program, demand)
+        self._demand_cache: Dict[tuple, tuple] = {}
+        # (id(program), procs, capacity_mb, granted, n_nodes) -> (program, rate)
+        self._rate_cache: Dict[tuple, tuple] = {}
+        # (id(spec), signature) -> (spec, programs, grants, net_load)
+        self._node_cache: Dict[tuple, tuple] = {}
+        # (id(program), n_nodes) -> (program, network fraction)
+        self._net_cache: Dict[tuple, tuple] = {}
+        # (id(spec), total_procs) -> (spec, aggregate supply GB/s)
+        self._supply_cache: Dict[tuple, tuple] = {}
+        self._stats = {
+            "demand": [0, 0], "rate": [0, 0], "node": [0, 0],
+            "net": [0, 0], "supply": [0, 0],
+        }  # [hits, misses]
+        #: Batched-kernel instrumentation (repro.perfmodel.batch):
+        #: batched calls, nodes and slices solved.
+        self.batch_counters: Dict[str, int] = {
+            "batch_calls": 0, "batch_nodes": 0, "batch_slices": 0,
+        }
+
+    # -- mode control -------------------------------------------------------
+
+    def set_enabled(self, flag: bool) -> None:
+        """Enable/disable the memoized fast path (debug knob)."""
+        self.enabled = bool(flag)
+
+    @contextmanager
+    def disabled(self) -> Iterator[None]:
+        """Run a block on the unmemoized reference path."""
+        previous = self.enabled
+        self.enabled = False
+        try:
+            yield
+        finally:
+            self.enabled = previous
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def clear(self) -> None:
+        """Drop every cached kernel result (and reset all statistics)."""
+        self._demand_cache.clear()
+        self._rate_cache.clear()
+        self._node_cache.clear()
+        self._net_cache.clear()
+        self._supply_cache.clear()
+        for counters in self._stats.values():
+            counters[0] = counters[1] = 0
+        for key in self.batch_counters:
+            self.batch_counters[key] = 0
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Hit/miss/size counters per cache (for benchmarks and tests)."""
+        sizes = {
+            "demand": len(self._demand_cache),
+            "rate": len(self._rate_cache),
+            "node": len(self._node_cache),
+            "net": len(self._net_cache),
+            "supply": len(self._supply_cache),
+        }
+        return {
+            name: {"hits": h, "misses": m, "size": sizes[name]}
+            for name, (h, m) in self._stats.items()
+        }
+
+    def counters(self) -> Dict[str, int]:
+        """Flat memo hit/miss + batched-kernel counters, in the key
+        scheme ``SimulationResult.counters`` reports (``memo_*_hits``,
+        ``memo_*_misses``, ``batch_*``)."""
+        out: Dict[str, int] = {}
+        for name, (hits, misses) in self._stats.items():
+            out[f"memo_{name}_hits"] = hits
+            out[f"memo_{name}_misses"] = misses
+        out.update(self.batch_counters)
+        return out
+
+    # -- kernel wrappers ----------------------------------------------------
+
+    def demand_gbps_per_proc(self, program, capacity_mb: float,
+                             n_nodes: int, core_peak: float) -> float:
+        """Memoized ``program.demand_gbps_per_proc`` curve evaluation."""
+        if not self.enabled:
+            return program.demand_gbps_per_proc(
+                capacity_mb, n_nodes, core_peak_bw=core_peak
+            )
+        key = (id(program), capacity_mb, n_nodes, core_peak)
+        cache = self._demand_cache
+        hit = cache.get(key)
+        if hit is not None and hit[0] is program:
+            self._stats["demand"][0] += 1
+            return hit[1]
+        value = program.demand_gbps_per_proc(
+            capacity_mb, n_nodes, core_peak_bw=core_peak
+        )
+        if len(cache) >= self.max_entries:
+            cache.clear()
+        cache[key] = (program, value)
+        self._stats["demand"][1] += 1
+        return value
+
+    def process_rate(self, program, procs: int, capacity_mb: float,
+                     granted: float, n_nodes: int) -> float:
+        """Memoized per-process roofline rate (``net_load`` does not
+        affect the rate, so it is excluded from the key)."""
+        from repro.perfmodel.execution import NodeConditions
+        from repro.perfmodel.execution import process_rate as _reference
+
+        if not self.enabled:
+            return _reference(
+                program, NodeConditions(procs, capacity_mb, granted), n_nodes
+            )
+        key = (id(program), procs, capacity_mb, granted, n_nodes)
+        cache = self._rate_cache
+        hit = cache.get(key)
+        if hit is not None and hit[0] is program:
+            self._stats["rate"][0] += 1
+            return hit[1]
+        value = _reference(
+            program, NodeConditions(procs, capacity_mb, granted), n_nodes
+        )
+        if len(cache) >= self.max_entries:
+            cache.clear()
+        cache[key] = (program, value)
+        self._stats["rate"][1] += 1
+        return value
+
+    def node_arbitration(
+        self, spec: NodeSpec, slices: Sequence
+    ) -> Tuple[Dict[int, float], float]:
+        """Memoized ``(arbitrate_node, node_network_load)`` pair for one
+        node's slice set.  Grants are cached positionally (signature
+        order) and mapped back to the querying node's actual job ids."""
+        from repro.perfmodel.contention import (
+            arbitrate_node,
+            node_network_load,
+        )
+
+        if not slices:
+            return {}, 0.0
+        if not self.enabled:
+            return (
+                arbitrate_node(spec, slices, ctx=self),
+                node_network_load(spec, slices),
+            )
+        key = (id(spec), slice_signature(slices))
+        cache = self._node_cache
+        hit = cache.get(key)
+        if hit is not None and hit[0] is spec and all(
+            p is s.program for p, s in zip(hit[1], slices)
+        ):
+            self._stats["node"][0] += 1
+            grants_by_pos, net_load = hit[2], hit[3]
+            return (
+                {s.job_id: g for s, g in zip(slices, grants_by_pos)},
+                net_load,
+            )
+        grants = arbitrate_node(spec, slices, ctx=self)
+        net_load = node_network_load(spec, slices)
+        entry = (
+            spec,
+            tuple(s.program for s in slices),
+            tuple(grants[s.job_id] for s in slices),
+            net_load,
+        )
+        if len(cache) >= self.max_entries:
+            cache.clear()
+        cache[key] = entry
+        self._stats["node"][1] += 1
+        return grants, net_load
+
+    def network_fraction(self, program, n_nodes: int) -> float:
+        """Memoized ``program.comm.network_fraction`` evaluation (the
+        value behind :func:`repro.perfmodel.contention.node_network_load`)."""
+        if not self.enabled:
+            return program.comm.network_fraction(n_nodes)
+        key = (id(program), n_nodes)
+        cache = self._net_cache
+        hit = cache.get(key)
+        if hit is not None and hit[0] is program:
+            self._stats["net"][0] += 1
+            return hit[1]
+        value = program.comm.network_fraction(n_nodes)
+        if len(cache) >= self.max_entries:
+            cache.clear()
+        cache[key] = (program, value)
+        self._stats["net"][1] += 1
+        return value
+
+    def bandwidth_supply(self, spec: NodeSpec, total_procs: int) -> float:
+        """Memoized ``spec.bandwidth.aggregate(total_procs)`` — the
+        node's saturating DRAM supply is a pure function of the active
+        core count, and arbitration evaluates it for every dirty node of
+        every refresh."""
+        if not self.enabled:
+            return spec.bandwidth.aggregate(total_procs)
+        key = (id(spec), total_procs)
+        cache = self._supply_cache
+        hit = cache.get(key)
+        if hit is not None and hit[0] is spec:
+            self._stats["supply"][0] += 1
+            return hit[1]
+        value = spec.bandwidth.aggregate(total_procs)
+        if len(cache) >= self.max_entries:
+            cache.clear()
+        cache[key] = (spec, value)
+        self._stats["supply"][1] += 1
+        return value

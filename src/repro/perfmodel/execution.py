@@ -21,13 +21,15 @@ from __future__ import annotations
 
 import functools
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro import units
 from repro.errors import HardwareModelError
 from repro.apps.program import ProgramSpec
 from repro.hardware.node_spec import NodeSpec
-from repro.perfmodel import memo
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.perfmodel.context import PerfContext
 
 
 @dataclass(frozen=True)
@@ -88,9 +90,13 @@ def job_time(
     procs: int,
     per_node: Sequence[NodeConditions],
     spec: NodeSpec,
+    ctx: Optional["PerfContext"] = None,
 ) -> float:
     """Projected start-to-finish time (s) of the job under the given
-    per-node conditions (assumed to persist for the whole run)."""
+    per-node conditions (assumed to persist for the whole run).
+
+    ``ctx`` memoizes the per-node rate evaluations; without one every
+    rate is computed from scratch (the reference path)."""
     if not per_node:
         raise HardwareModelError("job must occupy at least one node")
     n_nodes = len(per_node)
@@ -106,12 +112,18 @@ def job_time(
     # conditions (a 512-node job typically has <= 2, like
     # predict_exclusive_time exploits): evaluate each distinct one once.
     distinct = set(per_node)
-    slowest = min(
-        memo.process_rate(
-            program, c.procs, c.capacity_per_proc_mb, c.granted_gbps, n_nodes
+    if ctx is None:
+        slowest = min(
+            process_rate(program, c, n_nodes) for c in distinct
         )
-        for c in distinct
-    )
+    else:
+        slowest = min(
+            ctx.process_rate(
+                program, c.procs, c.capacity_per_proc_mb, c.granted_gbps,
+                n_nodes,
+            )
+            for c in distinct
+        )
     compute_time = instr / slowest
     k = scale_factor_of(n_nodes, procs, spec)
     t_ref = reference_time(program, procs, spec)
@@ -206,8 +218,9 @@ def job_speed(
     procs: int,
     per_node: Sequence[NodeConditions],
     spec: NodeSpec,
+    ctx: Optional["PerfContext"] = None,
 ) -> float:
     """Execution speed relative to the CE solo baseline (>1 is faster)."""
     return reference_time(program, procs, spec) / job_time(
-        program, procs, per_node, spec
+        program, procs, per_node, spec, ctx
     )

@@ -1,272 +1,134 @@
-"""Memoization layer for the performance-model kernels.
+"""Deprecated module-level facade over :class:`PerfContext`.
 
-The trace replays of Fig 20 arbitrate bandwidth on thousands of nodes at
-every scheduling point, but large clusters carry massive redundancy: a
-32K-node replay typically has only a handful of *distinct* per-node job
-mixes alive at any instant.  This module exploits that redundancy with
-a family of exact caches:
+The memoization layer used to live here as process-global dictionaries;
+it is now :class:`repro.perfmodel.context.PerfContext`, owned by each
+:class:`repro.sim.runtime.Simulation` and threaded through every layer
+that consults kernel state.  This module keeps thin shims for old
+callers: each delegates to a lazily-created *default context* and emits
+a ``DeprecationWarning``.  The default context is shared process-wide —
+exactly the coupling the refactor removed — so new code should construct
+a :class:`PerfContext` (or read ``cluster.ctx`` / ``simulation.ctx``)
+instead.
 
-* **demand curves** — ``ProgramSpec.demand_gbps_per_proc`` evaluations,
-  keyed by (program, capacity, footprint, core peak);
-* **process rates** — the roofline ``min(R_cpu, R_mem)`` of
-  :func:`repro.perfmodel.execution.process_rate`, keyed by the fields of
-  :class:`NodeConditions` that affect it;
-* **node arbitration** — :func:`arbitrate_node` +
-  :func:`node_network_load` results per node, keyed by a canonical
-  *slice signature*: the sorted tuple of job-id-independent
-  ``(program, procs, effective_ways, n_nodes, bw_cap)`` per slice.
-  Grants are stored positionally in signature order and mapped back to
-  the querying node's actual job ids;
-* **network fractions / bandwidth supply** — the scalar curve
-  evaluations feeding arbitration (``comm.network_fraction`` per
-  (program, footprint) and ``bandwidth.aggregate`` per active-core
-  count), shared with the batched kernel in
-  :mod:`repro.perfmodel.batch`.
-
-Programs are keyed by identity (``id``); every cache entry keeps a
-strong reference to the program objects it was computed from and
-verifies them with ``is`` on lookup, so an id can never be recycled into
-a stale hit while its entry is alive.
-
-All caches are exact: a hit returns the bit-identical float the
-reference computation would produce (the cached value *is* that
-computation's result).  ``set_caches_enabled(False)`` (or the
-``REPRO_DISABLE_PERF_CACHES`` environment variable) routes every call
-straight to the reference kernels — the equivalence tests compare the
-two paths, and it is the switch to flip when debugging a suspected
-cache-coherence bug.  See DESIGN.md, "Performance architecture".
+Notably, nothing here reads the environment at import time: the
+``REPRO_DISABLE_PERF_CACHES`` kill-switch is resolved when the default
+context is first used (and per ``Simulation`` construction elsewhere),
+so exporting it after ``import repro`` now works — with a deprecation
+warning pointing at ``SimConfig.perf_caches``.
 """
 
 from __future__ import annotations
 
-import os
+import warnings
 from contextlib import contextmanager
-from typing import Dict, Iterator, Sequence, Tuple
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 from repro.hardware.node_spec import NodeSpec
+from repro.perfmodel.context import (  # noqa: F401  (re-exported)
+    MAX_ENTRIES,
+    PerfContext,
+    resolve_cache_mode,
+    slice_signature,
+)
 
-#: Safety valve: a cache that somehow exceeds this many entries is
-#: cleared wholesale (distinct signatures are bounded in practice, so
-#: this should never trigger outside adversarial workloads).
-MAX_ENTRIES = 1 << 20
+#: Lazily-created default context (a one-slot holder rather than a
+#: rebindable name: no ``global`` statement, no import-time env read).
+_holder: List[PerfContext] = []
 
-_enabled = os.environ.get("REPRO_DISABLE_PERF_CACHES", "") == ""
 
-# (id(program), capacity_mb, n_nodes, core_peak) -> (program, demand)
-_demand_cache: Dict[tuple, tuple] = {}
-# (id(program), procs, capacity_mb, granted, n_nodes) -> (program, rate)
-_rate_cache: Dict[tuple, tuple] = {}
-# (id(spec), signature) -> (spec, programs, grants, net_load)
-_node_cache: Dict[tuple, tuple] = {}
-# (id(program), n_nodes) -> (program, network fraction)
-_net_cache: Dict[tuple, tuple] = {}
-# (id(spec), total_procs) -> (spec, aggregate supply GB/s)
-_supply_cache: Dict[tuple, tuple] = {}
+def default_context() -> PerfContext:
+    """The process-wide default context backing the deprecated shims.
 
-_stats = {
-    "demand": [0, 0], "rate": [0, 0], "node": [0, 0],
-    "net": [0, 0], "supply": [0, 0],
-}  # [hits, misses]
+    Created on first use with the cache mode resolved *at that moment*
+    (so ``REPRO_DISABLE_PERF_CACHES`` set before first use is honored).
+    """
+    if not _holder:
+        with warnings.catch_warnings():
+            # The shim caller already got its own DeprecationWarning;
+            # don't stack the env-var one on top at this level.
+            warnings.simplefilter("ignore", DeprecationWarning)
+            _holder.append(PerfContext(enabled=resolve_cache_mode()))
+    return _holder[0]
+
+
+def _warn(name: str, replacement: str) -> None:
+    warnings.warn(
+        f"repro.perfmodel.memo.{name} operates on a process-global "
+        f"default context and is deprecated; use {replacement}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def caches_enabled() -> bool:
-    """Whether the memoized fast path is active."""
-    return _enabled
+    """Whether the *default context's* fast path is active."""
+    _warn("caches_enabled", "PerfContext.enabled")
+    return default_context().enabled
 
 
 def set_caches_enabled(flag: bool) -> None:
-    """Globally enable/disable all perf-model caches (debug knob)."""
-    global _enabled
-    _enabled = bool(flag)
+    """Enable/disable the default context's caches (debug knob)."""
+    _warn("set_caches_enabled",
+          "PerfContext.set_enabled or SimConfig.perf_caches")
+    default_context().set_enabled(flag)
 
 
 def clear_caches() -> None:
-    """Drop every cached kernel result (and reset hit/miss stats)."""
-    _demand_cache.clear()
-    _rate_cache.clear()
-    _node_cache.clear()
-    _net_cache.clear()
-    _supply_cache.clear()
-    for counters in _stats.values():
-        counters[0] = counters[1] = 0
+    """Drop every cached kernel result of the default context."""
+    _warn("clear_caches", "PerfContext.clear")
+    default_context().clear()
 
 
 @contextmanager
 def caches_disabled() -> Iterator[None]:
-    """Run a block on the unmemoized reference path."""
-    previous = _enabled
-    set_caches_enabled(False)
-    try:
+    """Run a block with the default context on the reference path."""
+    _warn("caches_disabled",
+          "PerfContext.disabled or SimConfig(perf_caches=False)")
+    with default_context().disabled():
         yield
-    finally:
-        set_caches_enabled(previous)
 
 
 def cache_stats() -> Dict[str, Dict[str, int]]:
-    """Hit/miss/size counters per cache (for benchmarks and tests)."""
-    sizes = {
-        "demand": len(_demand_cache),
-        "rate": len(_rate_cache),
-        "node": len(_node_cache),
-        "net": len(_net_cache),
-        "supply": len(_supply_cache),
-    }
-    return {
-        name: {"hits": h, "misses": m, "size": sizes[name]}
-        for name, (h, m) in _stats.items()
-    }
+    """Hit/miss/size counters of the default context."""
+    _warn("cache_stats", "PerfContext.cache_stats")
+    return default_context().cache_stats()
 
 
 def stats_snapshot() -> Dict[str, int]:
-    """Flat copy of the hit/miss counters, suitable for delta-ing around
-    a simulation run (``SimulationResult.counters``)."""
-    out: Dict[str, int] = {}
-    for name, (hits, misses) in _stats.items():
-        out[f"memo_{name}_hits"] = hits
-        out[f"memo_{name}_misses"] = misses
-    return out
-
-
-# -- kernel wrappers ----------------------------------------------------------
+    """Flat hit/miss counters of the default context."""
+    _warn("stats_snapshot", "PerfContext.counters")
+    counters = default_context().counters()
+    return {k: v for k, v in counters.items() if k.startswith("memo_")}
 
 
 def demand_gbps_per_proc(program, capacity_mb: float, n_nodes: int,
                          core_peak: float) -> float:
-    """Memoized ``program.demand_gbps_per_proc`` curve evaluation."""
-    if not _enabled:
-        return program.demand_gbps_per_proc(
-            capacity_mb, n_nodes, core_peak_bw=core_peak
-        )
-    key = (id(program), capacity_mb, n_nodes, core_peak)
-    hit = _demand_cache.get(key)
-    if hit is not None and hit[0] is program:
-        _stats["demand"][0] += 1
-        return hit[1]
-    value = program.demand_gbps_per_proc(
-        capacity_mb, n_nodes, core_peak_bw=core_peak
+    _warn("demand_gbps_per_proc", "PerfContext.demand_gbps_per_proc")
+    return default_context().demand_gbps_per_proc(
+        program, capacity_mb, n_nodes, core_peak
     )
-    if len(_demand_cache) >= MAX_ENTRIES:
-        _demand_cache.clear()
-    _demand_cache[key] = (program, value)
-    _stats["demand"][1] += 1
-    return value
 
 
 def process_rate(program, procs: int, capacity_mb: float, granted: float,
                  n_nodes: int) -> float:
-    """Memoized per-process roofline rate (``net_load`` does not affect
-    the rate, so it is excluded from the key)."""
-    from repro.perfmodel.execution import NodeConditions
-    from repro.perfmodel.execution import process_rate as _reference
-
-    if not _enabled:
-        return _reference(
-            program, NodeConditions(procs, capacity_mb, granted), n_nodes
-        )
-    key = (id(program), procs, capacity_mb, granted, n_nodes)
-    hit = _rate_cache.get(key)
-    if hit is not None and hit[0] is program:
-        _stats["rate"][0] += 1
-        return hit[1]
-    value = _reference(
-        program, NodeConditions(procs, capacity_mb, granted), n_nodes
-    )
-    if len(_rate_cache) >= MAX_ENTRIES:
-        _rate_cache.clear()
-    _rate_cache[key] = (program, value)
-    _stats["rate"][1] += 1
-    return value
-
-
-def slice_signature(slices: Sequence) -> tuple:
-    """Job-id-independent signature of a node's slice sequence.
-
-    The signature is *order-preserving*, not sorted: bandwidth
-    arbitration sums demands in slice order, and floating-point addition
-    is not associative, so canonicalizing the order could alias two
-    nodes whose reference results differ in the last ulp.  Nodes that
-    receive the same job mix in the same order — the case mass-produced
-    by wide-job placement on big clusters — share an entry either way.
-    """
-    return tuple(
-        (
-            s.program.name, id(s.program), s.procs, s.effective_ways,
-            s.n_nodes, -1.0 if s.bw_cap is None else s.bw_cap,
-        )
-        for s in slices
+    _warn("process_rate", "PerfContext.process_rate")
+    return default_context().process_rate(
+        program, procs, capacity_mb, granted, n_nodes
     )
 
 
 def node_arbitration(
     spec: NodeSpec, slices: Sequence
 ) -> Tuple[Dict[int, float], float]:
-    """Memoized ``(arbitrate_node, node_network_load)`` pair for one
-    node's slice set.  Grants are cached positionally (signature order)
-    and mapped back to the querying node's actual job ids."""
-    from repro.perfmodel.contention import arbitrate_node, node_network_load
-
-    if not slices:
-        return {}, 0.0
-    if not _enabled:
-        return arbitrate_node(spec, slices), node_network_load(spec, slices)
-    key = (id(spec), slice_signature(slices))
-    hit = _node_cache.get(key)
-    if hit is not None and hit[0] is spec and all(
-        p is s.program for p, s in zip(hit[1], slices)
-    ):
-        _stats["node"][0] += 1
-        grants_by_pos, net_load = hit[2], hit[3]
-        return (
-            {s.job_id: g for s, g in zip(slices, grants_by_pos)},
-            net_load,
-        )
-    grants = arbitrate_node(spec, slices)
-    net_load = node_network_load(spec, slices)
-    entry = (
-        spec,
-        tuple(s.program for s in slices),
-        tuple(grants[s.job_id] for s in slices),
-        net_load,
-    )
-    if len(_node_cache) >= MAX_ENTRIES:
-        _node_cache.clear()
-    _node_cache[key] = entry
-    _stats["node"][1] += 1
-    return grants, net_load
+    _warn("node_arbitration", "PerfContext.node_arbitration")
+    return default_context().node_arbitration(spec, slices)
 
 
 def network_fraction(program, n_nodes: int) -> float:
-    """Memoized ``program.comm.network_fraction`` evaluation (the value
-    behind :func:`node_network_load`)."""
-    if not _enabled:
-        return program.comm.network_fraction(n_nodes)
-    key = (id(program), n_nodes)
-    hit = _net_cache.get(key)
-    if hit is not None and hit[0] is program:
-        _stats["net"][0] += 1
-        return hit[1]
-    value = program.comm.network_fraction(n_nodes)
-    if len(_net_cache) >= MAX_ENTRIES:
-        _net_cache.clear()
-    _net_cache[key] = (program, value)
-    _stats["net"][1] += 1
-    return value
+    _warn("network_fraction", "PerfContext.network_fraction")
+    return default_context().network_fraction(program, n_nodes)
 
 
 def bandwidth_supply(spec: NodeSpec, total_procs: int) -> float:
-    """Memoized ``spec.bandwidth.aggregate(total_procs)`` — the node's
-    saturating DRAM supply is a pure function of the active core count,
-    and arbitration evaluates it for every dirty node of every refresh."""
-    if not _enabled:
-        return spec.bandwidth.aggregate(total_procs)
-    key = (id(spec), total_procs)
-    hit = _supply_cache.get(key)
-    if hit is not None and hit[0] is spec:
-        _stats["supply"][0] += 1
-        return hit[1]
-    value = spec.bandwidth.aggregate(total_procs)
-    if len(_supply_cache) >= MAX_ENTRIES:
-        _supply_cache.clear()
-    _supply_cache[key] = (spec, value)
-    _stats["supply"][1] += 1
-    return value
+    _warn("bandwidth_supply", "PerfContext.bandwidth_supply")
+    return default_context().bandwidth_supply(spec, total_procs)

@@ -16,7 +16,6 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.config import SchedulerConfig
 from repro.errors import SchedulingError
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel import memo
 from repro.profiling.database import ProfileDatabase
 from repro.sim.cluster import ClusterState
 from repro.sim.job import Job, Placement
@@ -111,7 +110,9 @@ class BaseScheduler(abc.ABC):
         queue = self._priority_queue(pending)
         decisions: List[Decision] = []
         skipped: List[Job] = []
-        use_skip = memo.caches_enabled()
+        # The cluster carries the simulation's PerfContext (construction
+        # injection, DESIGN.md §9); the skip index follows its cache mode.
+        use_skip = cluster.ctx.enabled
         if use_skip:
             if self._skip_cluster is not cluster:
                 # A policy object reused against a fresh cluster must not

@@ -15,7 +15,6 @@ import heapq
 from typing import Dict, List, Optional, Sequence
 
 from repro.errors import SchedulingError
-from repro.perfmodel import memo
 from repro.sim.cluster import ClusterState
 
 
@@ -62,7 +61,7 @@ def find_nodes(
     # near-identical demands (same program + process count) across many
     # queued jobs, so this short-circuits whole bucket sweeps.
     failed = None
-    if memo.caches_enabled():
+    if cluster.ctx.enabled:
         epoch = cluster.release_epoch
         cache_epoch, failed = cluster.find_fail
         if cache_epoch != epoch:
@@ -102,7 +101,7 @@ def find_nodes(
     def pick(ids: List[int]) -> List[int]:
         if len(ids) <= n_nodes:
             return ids
-        if memo.caches_enabled():
+        if cluster.ctx.enabled:
             return cluster.pick_idlest(ids, n_nodes, beta)
         return heapq.nsmallest(n_nodes, ids, key=metric_key)
 

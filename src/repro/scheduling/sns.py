@@ -24,7 +24,7 @@ from typing import Dict, Optional, Tuple
 from repro.config import SchedulerConfig
 from repro.errors import ProfileError
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel import memo
+from repro.perfmodel.context import PerfContext
 from repro.profiling.database import ProfileDatabase
 from repro.scheduling.base import BaseScheduler
 from repro.scheduling.demand import ResourceDemand, estimate_demand
@@ -61,6 +61,11 @@ class SpreadNShareScheduler(BaseScheduler):
         # (the online store's mutation counter) invalidates entries when
         # a recorded trial changes the profile.
         self._demand_cache: Dict[tuple, Tuple[object, _Candidates]] = {}
+        # The PerfContext whose lifecycle the demand cache is tied to: a
+        # policy object reused against a different simulation (fresh
+        # context) must not carry entries across (same rule as the skip
+        # index's `_skip_cluster` guard).
+        self._demand_ctx: Optional[PerfContext] = None
 
     def _get_profile(self, job: Job):
         """Profile lookup; the online variant overrides this to consult
@@ -71,11 +76,17 @@ class SpreadNShareScheduler(BaseScheduler):
             candidate_scales=self.config.candidate_scales,
         )
 
-    def _scale_candidates(self, job: Job, alpha: float) -> _Candidates:
+    def _scale_candidates(
+        self, job: Job, alpha: float, ctx: PerfContext
+    ) -> _Candidates:
         """The job's ``(scale, demand)`` walk in preference order,
-        footprint-filtered, memoized per (program, procs, alpha)."""
-        if not memo.caches_enabled():
+        footprint-filtered, memoized per (program, procs, alpha) within
+        the lifecycle of ``ctx`` (the simulation's perf context)."""
+        if not ctx.enabled:
             return self._compute_candidates(job, alpha)
+        if self._demand_ctx is not ctx:
+            self._demand_cache.clear()
+            self._demand_ctx = ctx
         key = (
             id(job.program), job.procs, alpha, self._feasibility_version()
         )
@@ -84,7 +95,7 @@ class SpreadNShareScheduler(BaseScheduler):
             self.counters["demand_cache_hits"] += 1
             return hit[1]
         value = self._compute_candidates(job, alpha)
-        if len(self._demand_cache) >= memo.MAX_ENTRIES:
+        if len(self._demand_cache) >= ctx.max_entries:
             self._demand_cache.clear()
         self._demand_cache[key] = (job.program, value)
         return value
@@ -148,7 +159,7 @@ class SpreadNShareScheduler(BaseScheduler):
             # estimates exist — degrade to exclusive placement.
             return self._place_exclusive(cluster, job, scale=1)
         alpha = job.alpha if job.alpha is not None else self.config.default_alpha
-        candidates = self._scale_candidates(job, alpha)
+        candidates = self._scale_candidates(job, alpha, cluster.ctx)
         if candidates is None:
             # Profile lookup failed outright: degrade rather than
             # starve the job behind an error it cannot outwait.

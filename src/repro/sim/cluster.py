@@ -10,13 +10,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import Dict, Iterable, List, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel import batch, memo
+from repro.perfmodel import batch
+from repro.perfmodel.context import PerfContext, resolve_cache_mode
 from repro.perfmodel.contention import arbitrate_node, node_network_load
 from repro.sim.node import NodeState
 
@@ -38,6 +39,11 @@ class ClusterState:
     partitioned: bool = True
     enforce_bw: bool = False
     share_residual: bool = True
+    #: Perf-model context this cluster's arbitration caches live in.
+    #: Injected by the owning :class:`~repro.sim.runtime.Simulation`
+    #: (construction-injection rule, DESIGN.md §9); a standalone
+    #: ClusterState gets a private context with the default cache mode.
+    ctx: Optional[PerfContext] = None
     nodes: List[NodeState] = field(init=False)
     # Buckets are insertion-ordered id->None maps: O(1) add/remove with a
     # deterministic iteration order, and — unlike sorting — no O(G log G)
@@ -71,6 +77,8 @@ class ClusterState:
     counters: Dict[str, int] = field(init=False)
 
     def __post_init__(self) -> None:
+        if self.ctx is None:
+            self.ctx = PerfContext(enabled=resolve_cache_mode())
         self.nodes = [
             NodeState(
                 node_id=i,
@@ -297,7 +305,7 @@ class ClusterState:
         """
         self._flush_arrays()
         arr = None
-        if bucket is not None and memo.caches_enabled():
+        if bucket is not None and self.ctx.enabled:
             arr = self._bucket_arrays.get(bucket)
         if arr is None:
             count = len(ids) if hasattr(ids, "__len__") else -1
@@ -402,7 +410,7 @@ class ClusterState:
         With the perf-model caches disabled (debugging / equivalence
         runs) every call recomputes from scratch on the reference path.
         """
-        if not memo.caches_enabled():
+        if not self.ctx.enabled:
             return self._arbitrate(node_id)
         self.counters["arb_requests"] += 1
         view = self._arb_cache.get(node_id)
@@ -425,7 +433,7 @@ class ClusterState:
         and fanned back out to every node sharing the signature.
         Bit-identical to calling :meth:`arbitration` per node.
         """
-        if not memo.caches_enabled():
+        if not self.ctx.enabled:
             return {nid: self._arbitrate(nid) for nid in node_ids}
         requests = arb_hits = view_hits = 0
         views: Dict[int, ArbitrationView] = {}
@@ -473,7 +481,7 @@ class ClusterState:
         counters["view_cache_hits"] += view_hits
         if pending:
             tables = [nodes[nid].slices() for nid in solve_nodes]
-            solved = batch.arbitrate_nodes(self.spec.node, tables)
+            solved = batch.arbitrate_nodes(self.ctx, self.spec.node, tables)
             counters["arb_nodes_solved"] += len(solve_nodes)
             fresh: Dict[tuple, tuple] = {}
             for (key, index) in solve_keys.items():
@@ -485,7 +493,7 @@ class ClusterState:
                     net_load,
                     tuple(s.effective_ways for s in slices),
                 )
-            if len(view_cache) >= memo.MAX_ENTRIES:
+            if len(view_cache) >= self.ctx.max_entries:
                 view_cache.clear()
             view_cache.update(fresh)
             for nid, key, jids in pending:
@@ -502,9 +510,10 @@ class ClusterState:
         node = self.nodes[node_id]
         if node.is_idle:
             return (), (), 0.0, ()
-        if not memo.caches_enabled():
+        ctx = self.ctx
+        if not ctx.enabled:
             slices = node.slices()
-            grants = arbitrate_node(node.spec, slices)
+            grants = arbitrate_node(node.spec, slices, ctx=ctx)
             net_load = node_network_load(node.spec, slices)
             return (
                 tuple(s.job_id for s in slices),
@@ -519,10 +528,10 @@ class ClusterState:
         ):
             return jids, entry[1], entry[2], entry[3]
         slices = node.slices()
-        grants, net_load = memo.node_arbitration(node.spec, slices)
+        grants, net_load = ctx.node_arbitration(node.spec, slices)
         effs = tuple(s.effective_ways for s in slices)
         grants_t = tuple(grants[j] for j in jids)
-        if len(self._view_cache) >= memo.MAX_ENTRIES:
+        if len(self._view_cache) >= ctx.max_entries:
             self._view_cache.clear()
         self._view_cache[key] = (programs, grants_t, net_load, effs)
         return jids, grants_t, net_load, effs

@@ -25,7 +25,7 @@ from repro.config import RetryPolicy, SchedulerConfig, SimConfig
 from repro.errors import HardwareModelError, SimulationError
 from repro.faults.plan import FaultPlan
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel import batch, memo
+from repro.perfmodel.context import PerfContext, resolve_cache_mode
 from repro.perfmodel.execution import (
     NodeConditions,
     job_time,
@@ -177,11 +177,17 @@ class Simulation:
         ids = [j.job_id for j in jobs]
         if len(set(ids)) != len(ids):
             raise SimulationError("duplicate job ids")
+        # This simulation's perf-model state, created here and injected
+        # into every layer below (cluster, policies reach it through
+        # ``cluster.ctx``).  Each Simulation owns a fresh context, so
+        # concurrent runs in one process never share kernel caches.
+        self.ctx = PerfContext(enabled=resolve_cache_mode(config.perf_caches))
         self.cluster = ClusterState(
             cluster_spec,
             partitioned=policy.partitioned,
             enforce_bw=policy.enforce_bw,
             share_residual=policy.share_residual,
+            ctx=self.ctx,
         )
         self.policy = policy
         self.config = config
@@ -285,14 +291,13 @@ class Simulation:
         events always pop through the lazily-cancelling queue so a
         deferred refresh can never resurrect a stale finish.  The
         coalesced and per-event loops are bit-identical; with
-        ``REPRO_DISABLE_PERF_CACHES`` the per-event reference loop runs.
+        ``SimConfig(perf_caches=False)`` the per-event reference loop
+        runs.
         """
-        memo_before = memo.stats_snapshot()
-        batch_before = batch.counters_snapshot()
         if self.telemetry is not None:
             for nid in range(len(self.cluster.nodes)):
                 self.telemetry.record(nid, 0.0, 0.0)
-        coalesce = memo.caches_enabled()
+        coalesce = self.ctx.enabled
         while True:
             event = self.events.pop()
             if event is None:
@@ -345,21 +350,19 @@ class Simulation:
             makespan=makespan,
             telemetry=self.telemetry,
             events=self._events_processed,
-            counters=self._collect_counters(memo_before, batch_before),
+            counters=self._collect_counters(),
         )
 
-    def _collect_counters(self, memo_before: Dict[str, int],
-                          batch_before: Dict[str, int]) -> Dict[str, int]:
+    def _collect_counters(self) -> Dict[str, int]:
         """Aggregate instrumentation: runtime loop + cluster arbitration
-        + policy queue counters + memo/batch-kernel deltas for this run."""
+        + policy queue counters + this run's perf-context kernel stats.
+        The context is created fresh per Simulation, so its counters are
+        absolute for this run — no snapshot deltas needed."""
         counters = dict(self._counters)
         counters["events"] = self._events_processed
         counters.update(self.cluster.counters)
         counters.update(self.policy.counters)
-        for key, value in memo.stats_snapshot().items():
-            counters[key] = value - memo_before.get(key, 0)
-        for key, value in batch.counters_snapshot().items():
-            counters[key] = value - batch_before.get(key, 0)
+        counters.update(self.ctx.counters())
         return counters
 
     # ----------------------------------------------------------- internals
@@ -518,7 +521,7 @@ class Simulation:
         are re-solved; the untouched nodes of wide affected jobs are
         read back from the cache.
         """
-        if memo.caches_enabled():
+        if self.ctx.enabled:
             self._refresh_incremental(job_ids, touched_nodes, now)
             return
         # Reference path: every node any affected job spans needs current
@@ -699,8 +702,9 @@ class Simulation:
             )
         spec = self._spec
         ways_to_mb = spec.cache.ways_to_mb
+        ctx = self.ctx
         slowest = min(
-            memo.process_rate(
+            ctx.process_rate(
                 program, p, ways_to_mb(eff) / p, grant, n_nodes
             )
             for p, eff, grant, _net in key_counts

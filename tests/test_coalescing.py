@@ -1,26 +1,28 @@
 """Event coalescing: same-timestamp submit bursts drain into one
 settle → place → refresh batch, bit-identically to per-event processing
-(ISSUE tentpole part 2; DESIGN.md §7)."""
+(DESIGN.md §7).  Cache mode is selected per simulation through
+``SimConfig.perf_caches`` — no process-global state to reset between
+tests."""
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.apps.catalog import get_program
 from repro.config import SimConfig
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel import memo
 from repro.scheduling.ce import CompactExclusiveScheduler
 from repro.scheduling.sns import SpreadNShareScheduler
 from repro.sim.job import Job
 from repro.sim.runtime import Simulation
 
 
-@pytest.fixture(autouse=True)
-def _fresh_caches():
-    memo.clear_caches()
-    yield
-    memo.clear_caches()
+def env_forces_reference() -> bool:
+    """Whether the deprecated kill-switch pins default-mode runs to the
+    reference path (the CI reference job exports it)."""
+    return os.environ.get("REPRO_DISABLE_PERF_CACHES", "") != ""
 
 
 def burst_jobs(k: int = 8, at: float = 0.0):
@@ -33,10 +35,11 @@ def burst_jobs(k: int = 8, at: float = 0.0):
     ]
 
 
-def replay(jobs, policy_cls, nodes=8):
+def replay(jobs, policy_cls, nodes=8, caches=None):
     spec = ClusterSpec(num_nodes=nodes)
     result = Simulation(
-        spec, policy_cls(spec), jobs, SimConfig(telemetry=False)
+        spec, policy_cls(spec), jobs,
+        SimConfig(telemetry=False, perf_caches=caches),
     ).run()
     return result
 
@@ -57,17 +60,13 @@ def outcome(result):
 )
 class TestCoalescedEquivalence:
     def test_burst_matches_per_event_reference(self, policy_cls):
-        fast = replay(burst_jobs(), policy_cls)
-        memo.clear_caches()
-        with memo.caches_disabled():
-            reference = replay(burst_jobs(), policy_cls)
+        fast = replay(burst_jobs(), policy_cls, caches=True)
+        reference = replay(burst_jobs(), policy_cls, caches=False)
         assert outcome(fast) == outcome(reference)
 
     def test_burst_coalesces_and_saves_cycles(self, policy_cls):
-        if not memo.caches_enabled():
-            pytest.skip("coalescing disabled by REPRO_DISABLE_PERF_CACHES")
         k = 8
-        result = replay(burst_jobs(k), policy_cls)
+        result = replay(burst_jobs(k), policy_cls, caches=True)
         counters = result.counters
         # All k submits share one timestamp: the batch count must be
         # strictly below the event count, and the difference is exactly
@@ -82,32 +81,22 @@ class TestCoalescedEquivalence:
         assert counters["refresh_cycles"] < counters["events"]
 
     def test_reference_path_never_coalesces(self, policy_cls):
-        with memo.caches_disabled():
-            result = replay(burst_jobs(), policy_cls)
+        result = replay(burst_jobs(), policy_cls, caches=False)
         assert result.counters["events_coalesced"] == 0
         assert result.counters["event_batches"] == \
             result.counters["events"]
 
     def test_mixed_timestamps_only_merge_equal_ones(self, policy_cls):
-        jobs = burst_jobs(4, at=0.0) + [
-            Job(job_id=100 + i, program=get_program("EP"), procs=16,
-                submit_time=50.0 * (i + 1))
-            for i in range(3)
-        ]
-        fast = replay(jobs, policy_cls)
-        if memo.caches_enabled():
-            assert fast.counters["events_coalesced"] >= 3
-
-        def rebuild():
+        def build():
             return burst_jobs(4, at=0.0) + [
                 Job(job_id=100 + i, program=get_program("EP"), procs=16,
                     submit_time=50.0 * (i + 1))
                 for i in range(3)
             ]
 
-        memo.clear_caches()
-        with memo.caches_disabled():
-            reference = replay(rebuild(), policy_cls)
+        fast = replay(build(), policy_cls, caches=True)
+        assert fast.counters["events_coalesced"] >= 3
+        reference = replay(build(), policy_cls, caches=False)
         # Results must match even though the spaced submits each got
         # their own batch.
         assert fast.makespan == reference.makespan

@@ -20,7 +20,6 @@ from repro.faults import (
     parse_fault_spec,
 )
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel import memo
 from repro.sim.cluster import ClusterState
 from repro.sim.engine import EventKind, EventQueue
 from repro.sim.job import Job, JobState
@@ -310,7 +309,7 @@ class TestProfileOutage:
 
 
 class TestFaultDeterminism:
-    def _replay(self, policy):
+    def _replay(self, policy, caches=None):
         cluster = ClusterSpec(num_nodes=8)
         jobs = random_sequence(seed=29, n_jobs=16)
         plan = FaultPlan.from_mtbf(
@@ -318,7 +317,8 @@ class TestFaultDeterminism:
             horizon_s=40000.0, retry=RetryPolicy(max_retries=5),
         )
         result = Simulation.from_policy_name(
-            policy, cluster, clone_jobs(jobs), sim_config=FAST,
+            policy, cluster, clone_jobs(jobs),
+            sim_config=SimConfig(telemetry=False, perf_caches=caches),
             fault_plan=plan,
         ).run()
         return result.makespan, _schedule(result), dict(
@@ -333,10 +333,8 @@ class TestFaultDeterminism:
 
     @pytest.mark.parametrize("policy", ["CE", "SNS"])
     def test_fault_runs_match_reference_kernels(self, policy):
-        fast = self._replay(policy)
-        memo.clear_caches()
-        with memo.caches_disabled():
-            reference = self._replay(policy)
+        fast = self._replay(policy, caches=True)
+        reference = self._replay(policy, caches=False)
         assert fast == reference
 
 
@@ -355,11 +353,9 @@ class TestEmptyPlanBitIdentity:
         assert empty.makespan == without.makespan
         assert empty.events == without.events
         assert _schedule(empty) == _schedule(without)
-        # memo_* hit/miss deltas depend on process-global cache warmth
-        # (the first run warms them for the second), not on the plan.
-        strip = lambda c: {k: v for k, v in c.items()
-                           if not k.startswith("memo_")}
-        assert strip(empty.counters) == strip(without.counters)
+        # Each Simulation owns a fresh PerfContext, so even the memo_*
+        # hit/miss counters are per-run and must match exactly.
+        assert empty.counters == without.counters
         assert empty.badput_node_seconds() == 0.0
         assert empty.badput_fraction() == 0.0
 

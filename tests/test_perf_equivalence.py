@@ -1,7 +1,9 @@
 """The perf fast paths must be invisible: memoized and cache-disabled
 runs produce bit-identical results, caches evict on mutation, and the
 process-parallel grid matches the serial one (DESIGN.md, "Performance
-architecture")."""
+architecture").  Cache mode is a per-simulation choice
+(``SimConfig.perf_caches`` → a private :class:`PerfContext`), so the
+two modes run side by side with no global flag to flip or reset."""
 
 from __future__ import annotations
 
@@ -14,25 +16,23 @@ from repro.experiments.fig14_throughput import run_fig14
 from repro.experiments.fig20_large_cluster import run_fig20
 from repro.experiments.parallel import grid_map, resolve_jobs
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel import memo
+from repro.perfmodel.context import PerfContext
 from repro.sim.cluster import ClusterState
 from repro.workloads.sequences import random_sequence
 from repro.workloads.trace import SyntheticTraceConfig, synthesize_trace
 
 
-@pytest.fixture(autouse=True)
-def _fresh_caches():
-    memo.clear_caches()
-    yield
-    memo.clear_caches()
-
-
-def _run_sequence_all_policies(seed: int):
+def _run_sequence_results(seed: int, caches=None):
     cluster = ClusterSpec(num_nodes=8)
     jobs = random_sequence(seed=seed, n_jobs=14)
-    runs = run_all_policies(
-        cluster, jobs, sim_config=SimConfig(telemetry=False)
+    return run_all_policies(
+        cluster, jobs,
+        sim_config=SimConfig(telemetry=False, perf_caches=caches),
     )
+
+
+def _run_sequence_all_policies(seed: int, caches=None):
+    runs = _run_sequence_results(seed, caches=caches)
     return {
         policy: (
             result.makespan,
@@ -49,10 +49,8 @@ class TestMemoizedEquivalence:
 
     @pytest.mark.parametrize("seed", [3, 2019])
     def test_fig14_style_sequences(self, seed):
-        fast = _run_sequence_all_policies(seed)
-        memo.clear_caches()
-        with memo.caches_disabled():
-            reference = _run_sequence_all_policies(seed)
+        fast = _run_sequence_all_policies(seed, caches=True)
+        reference = _run_sequence_all_policies(seed, caches=False)
         assert fast == reference
 
     def test_fig20_smoke_point(self):
@@ -62,33 +60,29 @@ class TestMemoizedEquivalence:
         jobs = synthesize_trace(seed=42, scaling_ratio=0.9, config=config)
         cluster = ClusterSpec(num_nodes=512)
 
-        def replay():
+        def replay(caches):
             runs = run_all_policies(
                 cluster, jobs, policy_names=("CE", "SNS"),
-                sim_config=SimConfig(telemetry=False, max_sim_time=1e12),
+                sim_config=SimConfig(telemetry=False, max_sim_time=1e12,
+                                     perf_caches=caches),
             )
             return {
                 p: (r.makespan, r.mean_turnaround()) for p, r in runs.items()
             }
 
-        fast = replay()
-        memo.clear_caches()
-        with memo.caches_disabled():
-            reference = replay()
-        assert fast == reference
+        assert replay(True) == replay(False)
 
     def test_disabled_context_restores_flag(self):
-        # Robust against REPRO_DISABLE_PERF_CACHES being exported in the
-        # environment: force-enable, exercise the context manager, then
-        # restore whatever the session default was.
-        before = memo.caches_enabled()
-        memo.set_caches_enabled(True)
-        try:
-            with memo.caches_disabled():
-                assert not memo.caches_enabled()
-            assert memo.caches_enabled()
-        finally:
-            memo.set_caches_enabled(before)
+        ctx = PerfContext(enabled=True)
+        with ctx.disabled():
+            assert not ctx.enabled
+        assert ctx.enabled
+        # Nested disable must restore the *outer* state, not blindly
+        # re-enable.
+        ctx.set_enabled(False)
+        with ctx.disabled():
+            assert not ctx.enabled
+        assert not ctx.enabled
 
     def test_congested_queue_skip_index_equivalence(self):
         """Skip-index == full-rescan on a congested queue (and the fast
@@ -98,7 +92,7 @@ class TestMemoizedEquivalence:
         from repro.sim.runtime import Simulation
         from repro.apps.catalog import get_program
 
-        def replay():
+        def replay(caches):
             spec = ClusterSpec(num_nodes=2)
             ep, mg = get_program("EP"), get_program("MG")
             jobs = [
@@ -108,16 +102,13 @@ class TestMemoizedEquivalence:
             ]
             result = Simulation(
                 spec, SpreadNShareScheduler(spec), jobs,
-                SimConfig(telemetry=False),
+                SimConfig(telemetry=False, perf_caches=caches),
             ).run()
             return result
 
-        fast = replay()
-        if memo.caches_enabled():  # counters are 0 under the env kill-switch
-            assert fast.counters["jobs_skipped"] > 0
-        memo.clear_caches()
-        with memo.caches_disabled():
-            reference = replay()
+        fast = replay(True)
+        assert fast.counters["jobs_skipped"] > 0
+        reference = replay(False)
         assert fast.makespan == reference.makespan
         assert sorted(
             (j.job_id, j.start_time, j.finish_time)
@@ -128,12 +119,13 @@ class TestMemoizedEquivalence:
         )
 
     def test_stats_report_hits(self):
-        if not memo.caches_enabled():
-            pytest.skip("caches disabled by REPRO_DISABLE_PERF_CACHES")
-        _run_sequence_all_policies(7)
-        stats = memo.cache_stats()
-        assert stats["demand"]["hits"] > 0
-        assert stats["rate"]["hits"] > 0
+        runs = _run_sequence_results(7, caches=True)
+        for result in runs.values():
+            # Every policy's run exercised the kernels and saw reuse.
+            assert result.counters["memo_demand_misses"] > 0
+            assert result.counters["memo_rate_hits"] > 0
+        # Co-locating policies re-evaluate demand curves enough to hit.
+        assert runs["SNS"].counters["memo_demand_hits"] > 0
 
 
 class TestBatchedKernelEquivalence:
@@ -187,7 +179,7 @@ class TestBatchedKernelEquivalence:
         )
 
         spec, tables = self._random_tables(seed)
-        batched = batch.arbitrate_nodes(spec, tables)
+        batched = batch.arbitrate_nodes(PerfContext(), spec, tables)
         reference = [
             (arbitrate_node(spec, slices), node_network_load(spec, slices))
             for slices in tables
@@ -198,10 +190,10 @@ class TestBatchedKernelEquivalence:
         from repro.perfmodel import batch
 
         spec, tables = self._random_tables(99)
-        fast = batch.arbitrate_nodes(spec, tables)
-        memo.clear_caches()
-        with memo.caches_disabled():
-            reference = batch.arbitrate_nodes(spec, tables)
+        fast = batch.arbitrate_nodes(PerfContext(enabled=True), spec, tables)
+        reference = batch.arbitrate_nodes(
+            PerfContext(enabled=False), spec, tables
+        )
         assert fast == reference
 
     def test_batched_rejects_overcommitted_node(self):
@@ -217,7 +209,7 @@ class TestBatchedKernelEquivalence:
             for i in range(2)
         ]
         with pytest.raises(HardwareModelError):
-            batch.arbitrate_nodes(spec, [overfull])
+            batch.arbitrate_nodes(PerfContext(), spec, [overfull])
 
 
 class TestArbitrationCacheInvalidation:
@@ -225,7 +217,9 @@ class TestArbitrationCacheInvalidation:
 
     @pytest.fixture
     def cluster(self, program):
-        state = ClusterState(ClusterSpec(num_nodes=4))
+        state = ClusterState(
+            ClusterSpec(num_nodes=4), ctx=PerfContext(enabled=True)
+        )
         self.program = program
         return state
 
@@ -244,9 +238,8 @@ class TestArbitrationCacheInvalidation:
         self._place(cluster, 0, 1)
         jids1, _, _, effs1 = cluster.arbitration(0)
         assert jids1 == (1,)
-        if memo.caches_enabled():
-            # Cached: same object back while the node is untouched.
-            assert cluster.arbitration(0) is cluster.arbitration(0)
+        # Cached: same object back while the node is untouched.
+        assert cluster.arbitration(0) is cluster.arbitration(0)
         self._place(cluster, 0, 2)
         jids2, _, _, effs2 = cluster.arbitration(0)
         assert set(jids2) == {1, 2}
@@ -268,7 +261,7 @@ class TestArbitrationCacheInvalidation:
         cluster.remove(0, 1)
         self._place(cluster, 0, 3, procs=2)
         cached = cluster.arbitration(0)
-        with memo.caches_disabled():
+        with cluster.ctx.disabled():
             reference = cluster.arbitration(0)
         assert cached == reference
 

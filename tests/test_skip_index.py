@@ -1,6 +1,8 @@
 """Pending-queue skip index: jobs whose placement failed are skipped
 until cluster headroom can have changed, without ever being starved or
-silently dropped (ISSUE tentpole part 3; DESIGN.md §7)."""
+silently dropped (DESIGN.md §7).  Cache mode is selected per simulation
+via ``SimConfig.perf_caches``; the skip index follows the simulation's
+:class:`PerfContext`."""
 
 from __future__ import annotations
 
@@ -10,19 +12,11 @@ from repro.apps.catalog import get_program
 from repro.config import SimConfig
 from repro.errors import SimulationError
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel import memo
 from repro.profiling.online import OnlineProfileStore
 from repro.scheduling.ce import CompactExclusiveScheduler
 from repro.scheduling.sns import SpreadNShareScheduler
 from repro.sim.job import Job, JobState
 from repro.sim.runtime import Simulation
-
-
-@pytest.fixture(autouse=True)
-def _fresh_caches():
-    memo.clear_caches()
-    yield
-    memo.clear_caches()
 
 
 def congested_jobs():
@@ -36,10 +30,11 @@ def congested_jobs():
     ]
 
 
-def replay(jobs, policy_cls, nodes=1):
+def replay(jobs, policy_cls, nodes=1, caches=None):
     spec = ClusterSpec(num_nodes=nodes)
     return Simulation(
-        spec, policy_cls(spec), jobs, SimConfig(telemetry=False)
+        spec, policy_cls(spec), jobs,
+        SimConfig(telemetry=False, perf_caches=caches),
     ).run()
 
 
@@ -48,11 +43,10 @@ def replay(jobs, policy_cls, nodes=1):
 )
 class TestSkipIndex:
     def test_skips_hit_and_nothing_is_starved(self, policy_cls):
-        result = replay(congested_jobs(), policy_cls)
+        result = replay(congested_jobs(), policy_cls, caches=True)
         # The queue was congested enough that the skip index actually
         # fired, and yet every job ran to completion.
-        if memo.caches_enabled():  # counters are 0 under the kill-switch
-            assert result.counters["jobs_skipped"] > 0
+        assert result.counters["jobs_skipped"] > 0
         assert len(result.finished_jobs) == 6
 
     def test_retried_after_release_frees_capacity(self, policy_cls):
@@ -66,10 +60,8 @@ class TestSkipIndex:
             assert start == pytest.approx(finish)
 
     def test_bit_identical_to_full_rescan(self, policy_cls):
-        fast = replay(congested_jobs(), policy_cls)
-        memo.clear_caches()
-        with memo.caches_disabled():
-            reference = replay(congested_jobs(), policy_cls)
+        fast = replay(congested_jobs(), policy_cls, caches=True)
+        reference = replay(congested_jobs(), policy_cls, caches=False)
         assert reference.counters["jobs_skipped"] == 0
         assert fast.makespan == reference.makespan
         assert sorted(
@@ -110,11 +102,10 @@ class TestWatermark:
             Job(job_id=3, program=ep, procs=8, submit_time=2.0),
         ]
         result = Simulation(
-            spec, policy, jobs, SimConfig(telemetry=False)
+            spec, policy, jobs, SimConfig(telemetry=False, perf_caches=True)
         ).run()
         assert len(result.finished_jobs) == 4
-        if memo.caches_enabled():
-            assert result.counters["jobs_skipped"] > 0
+        assert result.counters["jobs_skipped"] > 0
         # The wide job could only start after job 0's node fully drained.
         job2 = next(j for j in result.finished_jobs if j.job_id == 2)
         assert job2.start_time > 0.0

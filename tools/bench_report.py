@@ -8,12 +8,20 @@ event loop show up as numbers, not vibes:
 
     PYTHONPATH=src python tools/bench_report.py [--label after]
     PYTHONPATH=src python tools/bench_report.py --no-caches --label ref
+    PYTHONPATH=src python tools/bench_report.py --threads 4
 
 Each entry records per-configuration wall seconds, simulated events,
 events/second, and the kernel counters (batched arbitration solves,
 coalesced events, skip-index hits, nodes scanned — see DESIGN.md §7),
 plus the grid total.  Existing entries under other labels are
 preserved, so a before/after pair can live side by side.
+
+``--threads N`` runs the grid on the thread-based runner
+(:func:`repro.experiments.concurrent.run_grid_threads`): every
+simulation owns a private :class:`~repro.perfmodel.context.PerfContext`,
+so interleaved runs must be bit-identical to serial ones — the
+divergence gate below enforces exactly that against any serial entry
+already in BENCH_sim.json.
 
 Every fast path in the simulator is required to be *bit-identical* to
 the reference kernels, so after timing, this script cross-checks the
@@ -30,18 +38,18 @@ import json
 import sys
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.config import SimConfig                      # noqa: E402
 from repro.experiments.common import run_all_policies   # noqa: E402
+from repro.experiments.concurrent import run_grid_threads  # noqa: E402
 from repro.experiments.fig20_large_cluster import (     # noqa: E402
     smoke_trace_config,
 )
 from repro.hardware.topology import ClusterSpec         # noqa: E402
-from repro.perfmodel import memo                        # noqa: E402
 from repro.workloads.trace import synthesize_trace      # noqa: E402
 
 #: The benchmark grid (fixed: changing it would break comparability).
@@ -63,48 +71,72 @@ COUNTER_COLUMNS = (
 )
 
 
-def run_grid(verbose: bool = True) -> dict:
-    """Run the smoke grid once; returns the BENCH_sim entry payload."""
+def _run_one(task: tuple) -> dict:
+    """One grid point: an independent simulation with a private
+    PerfContext (``SimConfig.perf_caches`` picks the cache mode), so
+    this worker is safe to run on any thread."""
+    ratio, nodes, policy, jobs, caches = task
+    cluster = ClusterSpec(num_nodes=nodes)
+    start = time.perf_counter()
+    runs = run_all_policies(
+        cluster, jobs, policy_names=(policy,),
+        sim_config=SimConfig(telemetry=False, max_sim_time=1e12,
+                             perf_caches=caches),
+    )
+    wall = time.perf_counter() - start
+    result = runs[policy]
+    return {
+        "policy": policy,
+        "nodes": nodes,
+        "ratio": ratio,
+        "wall_s": round(wall, 4),
+        "events": result.events,
+        "events_per_s": round(result.events / wall, 1),
+        "makespan": result.makespan,
+        "mean_turnaround": result.mean_turnaround(),
+        "counters": {
+            key: result.counters.get(key, 0)
+            for key in COUNTER_COLUMNS
+        },
+    }
+
+
+def run_grid(caches: bool = True, threads: int = 1,
+             verbose: bool = True) -> dict:
+    """Run the smoke grid once; returns the BENCH_sim entry payload.
+
+    ``threads > 1`` interleaves the grid points on a thread pool; the
+    per-config results are bit-identical to a serial run by the
+    state-ownership contract (DESIGN.md §9)."""
     trace_config = smoke_trace_config()
-    configs = []
-    total_wall = 0.0
-    total_events = 0
+    tasks = []
     for ratio in RATIOS:
         jobs = synthesize_trace(seed=SEED, scaling_ratio=ratio,
                                 config=trace_config)
         for nodes in SIZES:
             for policy in POLICIES:
-                memo.clear_caches()
-                cluster = ClusterSpec(num_nodes=nodes)
-                start = time.perf_counter()
-                runs = run_all_policies(
-                    cluster, jobs, policy_names=(policy,),
-                    sim_config=SimConfig(telemetry=False, max_sim_time=1e12),
-                )
-                wall = time.perf_counter() - start
-                result = runs[policy]
-                total_wall += wall
-                total_events += result.events
-                configs.append({
-                    "policy": policy,
-                    "nodes": nodes,
-                    "ratio": ratio,
-                    "wall_s": round(wall, 4),
-                    "events": result.events,
-                    "events_per_s": round(result.events / wall, 1),
-                    "makespan": result.makespan,
-                    "mean_turnaround": result.mean_turnaround(),
-                    "counters": {
-                        key: result.counters.get(key, 0)
-                        for key in COUNTER_COLUMNS
-                    },
-                })
-                if verbose:
-                    print(f"  {policy:3s} {nodes:5d} nodes ratio {ratio}: "
-                          f"{wall:6.2f}s  {result.events} events")
+                tasks.append((ratio, nodes, policy, jobs, caches))
+    start = time.perf_counter()
+    if threads > 1:
+        configs = run_grid_threads(_run_one, tasks, threads=threads)
+    else:
+        configs = [_run_one(t) for t in tasks]
+    elapsed = time.perf_counter() - start
+    total_events = sum(c["events"] for c in configs)
+    if verbose:
+        for c in configs:
+            print(f"  {c['policy']:3s} {c['nodes']:5d} nodes "
+                  f"ratio {c['ratio']}: "
+                  f"{c['wall_s']:6.2f}s  {c['events']} events")
+    # Serial entries report summed per-config wall time (comparable to
+    # older entries); threaded entries report overall elapsed, since
+    # per-config clocks overlap.
+    total_wall = elapsed if threads > 1 \
+        else sum(c["wall_s"] for c in configs)
     return {
         "grid": "fig20-smoke 2x2x2",
-        "caches": memo.caches_enabled(),
+        "caches": caches,
+        "threads": threads,
         "total_wall_s": round(total_wall, 4),
         "total_events": total_events,
         "events_per_s": round(total_events / total_wall, 1),
@@ -117,9 +149,10 @@ def check_divergence(report: dict, label: str) -> List[str]:
 
     All entries replay the same traces with the same seed, so their
     per-configuration makespans and mean turnarounds must agree exactly
-    — fast paths are contractually bit-identical to the reference.
-    Returns a list of human-readable divergence descriptions (empty when
-    everything matches).
+    — fast paths are contractually bit-identical to the reference, and
+    thread-interleaved runs to serial ones.  Returns a list of
+    human-readable divergence descriptions (empty when everything
+    matches).
     """
     grids: Dict[str, Dict[tuple, tuple]] = {}
     problems: List[str] = []
@@ -140,18 +173,25 @@ def check_divergence(report: dict, label: str) -> List[str]:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--label", default="current",
-                        help="entry name in BENCH_sim.json (default: current)")
+    parser.add_argument("--label", default=None,
+                        help="entry name in BENCH_sim.json "
+                             "(default: current, or threadsN)")
     parser.add_argument("--no-caches", action="store_true",
                         help="benchmark the unmemoized reference path")
+    parser.add_argument("--threads", type=int, default=1, metavar="N",
+                        help="run the grid on an N-thread pool and gate "
+                             "bit-identity against serial entries")
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_sim.json"))
     args = parser.parse_args(argv)
 
-    if args.no_caches:
-        memo.set_caches_enabled(False)
+    caches = not args.no_caches
+    label: Optional[str] = args.label
+    if label is None:
+        label = f"threads{args.threads}" if args.threads > 1 else "current"
+    mode = f"{args.threads} threads" if args.threads > 1 else "serial"
     print(f"benchmarking fig20 smoke grid "
-          f"(caches {'on' if memo.caches_enabled() else 'off'}) ...")
-    entry = run_grid()
+          f"(caches {'on' if caches else 'off'}, {mode}) ...")
+    entry = run_grid(caches=caches, threads=args.threads)
     print(f"total: {entry['total_wall_s']:.2f}s, "
           f"{entry['events_per_s']:.0f} events/s")
 
@@ -159,16 +199,16 @@ def main(argv=None) -> int:
     report = {}
     if path.exists():
         report = json.loads(path.read_text())
-    report[args.label] = entry
+    report[label] = entry
     baselines = [
-        (label, e["total_wall_s"]) for label, e in report.items()
-        if label != args.label
+        (name, e["total_wall_s"]) for name, e in report.items()
+        if name != label
     ]
-    for label, wall in baselines:
-        print(f"vs {label}: {wall / entry['total_wall_s']:.2f}x")
-    problems = check_divergence(report, args.label)
+    for name, wall in baselines:
+        print(f"vs {name}: {wall / entry['total_wall_s']:.2f}x")
+    problems = check_divergence(report, label)
     if problems:
-        print(f"FATAL: fast-path results diverge from reference entries "
+        print(f"FATAL: results diverge between entries "
               f"({len(problems)} mismatches):", file=sys.stderr)
         for line in problems:
             print(f"  {line}", file=sys.stderr)
