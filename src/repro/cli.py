@@ -17,6 +17,11 @@ Subcommands
     ``--no-caches`` runs the unmemoized reference kernels
     (``SimConfig(perf_caches=False)``) — bit-identical by contract, the
     switch to flip when a result looks cache-shaped.
+    ``--trace out.jsonl [--trace-level decisions|events|full]`` records
+    a structured decision trace (DESIGN.md §10) as canonical JSONL;
+    ``--trace-chrome out.json`` writes a Chrome ``trace_event`` file for
+    chrome://tracing / ui.perfetto.dev.  Either flag also prints the
+    trace's terminal summary.
 """
 
 from __future__ import annotations
@@ -27,7 +32,7 @@ from typing import List, Optional
 
 from repro import __version__
 from repro.apps.catalog import get_program, program_names
-from repro.config import SimConfig
+from repro.config import SimConfig, TraceConfig
 from repro.errors import ReproError
 from repro.experiments.common import run_policy
 from repro.experiments.registry import EXPERIMENTS, get_experiment
@@ -82,14 +87,32 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         parse_fault_spec(args.faults, cluster.num_nodes)
         if args.faults else None
     )
+    tracing = bool(args.trace or args.trace_chrome)
     sim_config = SimConfig(
         telemetry=False,
         perf_caches=False if args.no_caches else None,
+        trace=TraceConfig(level=args.trace_level) if tracing else None,
     )
     result = run_policy(
         args.policy, cluster, jobs, sim_config=sim_config,
         fault_plan=fault_plan,
     )
+    if tracing:
+        from repro.obs import summarize, write_chrome_trace, write_jsonl
+
+        tracer = result.trace
+        assert tracer is not None
+        if args.trace:
+            count = write_jsonl(tracer.events, args.trace)
+            print(f"wrote {count} trace records to {args.trace}")
+        if args.trace_chrome:
+            count = write_chrome_trace(
+                tracer.events, args.trace_chrome, tracer.timeseries
+            )
+            print(f"wrote {count} Chrome trace events to "
+                  f"{args.trace_chrome} (open in chrome://tracing or "
+                  f"ui.perfetto.dev)")
+        print(summarize(tracer.events, tracer.timeseries))
     print(f"{args.policy} on {args.nodes} nodes, {args.jobs} jobs "
           f"(seed {args.seed}):")
     print(f"  makespan      {result.makespan:10.1f} s")
@@ -159,6 +182,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-caches", action="store_true",
         help="run the unmemoized reference kernels "
              "(SimConfig(perf_caches=False)); results are bit-identical",
+    )
+    p_sim.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write a structured decision trace as JSONL (DESIGN.md §10)",
+    )
+    p_sim.add_argument(
+        "--trace-level", choices=("decisions", "events", "full"),
+        default="events",
+        help="how much the tracer records (default: events)",
+    )
+    p_sim.add_argument(
+        "--trace-chrome", default=None, metavar="PATH",
+        help="write a Chrome trace_event JSON file "
+             "(open in chrome://tracing or ui.perfetto.dev)",
     )
 
     return parser

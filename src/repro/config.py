@@ -107,6 +107,42 @@ class RetryPolicy:
 
 
 @dataclass(frozen=True)
+class TraceConfig:
+    """Structured-trace settings (DESIGN.md §10).
+
+    Attributes
+    ----------
+    level:
+        How much the tracer records: ``"decisions"`` (scheduler
+        decisions + job lifecycle + faults; byte-stable across cache
+        modes), ``"events"`` (adds per-scheduling-point summaries), or
+        ``"full"`` (adds event batches and speed refreshes).
+    timeseries:
+        Derive the per-node gauge series (free cores, booked bandwidth,
+        allocated LLC ways, resident jobs) from the trace after the run
+        (:func:`repro.obs.timeseries.timeseries_from_trace`).
+    timeseries_capacity:
+        Retained-bucket bound of the stride-doubling downsampler; even,
+        >= 4.  Memory is flat in run length: ~capacity * 96 bytes/node.
+    """
+
+    level: str = "events"
+    timeseries: bool = True
+    timeseries_capacity: int = 64
+
+    def __post_init__(self) -> None:
+        if self.level not in ("decisions", "events", "full"):
+            raise ConfigError(
+                f"trace level must be decisions, events, or full; "
+                f"got {self.level!r}"
+            )
+        if self.timeseries_capacity < 4 or self.timeseries_capacity % 2:
+            raise ConfigError(
+                "timeseries_capacity must be an even number >= 4"
+            )
+
+
+@dataclass(frozen=True)
 class SimConfig:
     """Simulation-wide settings."""
 
@@ -115,7 +151,13 @@ class SimConfig:
     #: Hard wall on simulated time (guards against scheduler livelock).
     max_sim_time: float = 1e9
     #: Record per-node bandwidth telemetry (costs memory on big runs).
-    telemetry: bool = True
+    #: Off by default — observability is opt-in so plain runs allocate
+    #: no recorder at all (DESIGN.md §10); the telemetry experiments
+    #: (Figs 17-18) enable it explicitly.
+    telemetry: bool = False
+    #: Structured-trace settings; ``None`` (default) records nothing and
+    #: the run pays only an ``is None`` check per emission site.
+    trace: Optional[TraceConfig] = None
     #: Perf-model cache mode of this run's :class:`PerfContext`.  ``True``
     #: runs the memoized fast paths, ``False`` the unmemoized reference
     #: kernels (bit-identical by contract; the switch to flip when

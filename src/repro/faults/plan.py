@@ -97,6 +97,17 @@ class FaultPlan:
             return -1
         return max(f.node_id for f in self.node_faults)
 
+    def summary(self) -> str:
+        """One-line human description for trace summaries and the CLI
+        (distinct failed nodes, fault/outage counts, retry policy)."""
+        nodes = {f.node_id for f in self.node_faults}
+        return (
+            f"{len(self.node_faults)} node fault(s) on {len(nodes)} "
+            f"node(s), {len(self.profile_outages)} profile outage(s), "
+            f"retries={self.retry.max_retries} "
+            f"backoff={self.retry.backoff_s:g}s"
+        )
+
     @classmethod
     def from_mtbf(
         cls,

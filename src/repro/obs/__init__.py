@@ -1,0 +1,51 @@
+"""Observability layer: structured decision tracing, bounded-memory
+time-series gauges, episode telemetry, exporters, and the trace
+invariant checker (DESIGN.md §10).
+
+Everything here is owned per-:class:`~repro.sim.runtime.Simulation` and
+injected at construction — no process globals — and costs nothing when
+disabled (the no-allocation contract checked by ``tests/test_telemetry.py``).
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    read_jsonl,
+    summarize,
+    trace_lines,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.invariants import check_trace, verify_trace
+from repro.obs.telemetry import TelemetryRecorder
+from repro.obs.timeseries import (
+    CHANNELS,
+    TimeSeries,
+    timeseries_from_trace,
+)
+from repro.obs.trace import (
+    DECISION_KINDS,
+    TraceLevel,
+    Tracer,
+    decision_stream,
+    parse_level,
+)
+
+__all__ = [
+    "CHANNELS",
+    "DECISION_KINDS",
+    "TelemetryRecorder",
+    "TimeSeries",
+    "TraceLevel",
+    "Tracer",
+    "check_trace",
+    "chrome_trace",
+    "decision_stream",
+    "parse_level",
+    "read_jsonl",
+    "summarize",
+    "timeseries_from_trace",
+    "trace_lines",
+    "verify_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

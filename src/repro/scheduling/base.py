@@ -186,9 +186,12 @@ class BaseScheduler(abc.ABC):
         bw_per_node: float,
         scale_factor: int,
         net_per_node: float = 0.0,
+        meta: Optional[Dict] = None,
     ) -> Decision:
         """Install the job's slices on the chosen nodes and wrap the
-        result as a :class:`Decision`."""
+        result as a :class:`Decision`.  ``meta`` carries decision
+        context for the tracer (candidate-set size, degraded/trial
+        flags) and is never read by placement logic."""
         n_nodes = len(node_ids)
         installed = []
         try:
@@ -209,7 +212,8 @@ class BaseScheduler(abc.ABC):
             booked_bw=bw_per_node,
             booked_net=net_per_node,
         )
-        return Decision(job=job, placement=placement, scale_factor=scale_factor)
+        return Decision(job=job, placement=placement,
+                        scale_factor=scale_factor, meta=meta)
 
     def _base_nodes(self, job: Job) -> int:
         """CE minimum footprint of the job."""

@@ -74,15 +74,18 @@ class OnlineSpreadNShareScheduler(SpreadNShareScheduler):
         if not self.profile_store_up:
             # Store outage: no recording, no exploration — every job
             # runs at the CE-style safe default until the store is back.
-            return self._place_exclusive(cluster, job, scale=1)
+            return self._place_exclusive(cluster, job, scale=1,
+                                         meta={"degraded": True})
         if self.store.exploration_complete(job.program, job.procs):
             return super()._try_place(cluster, job, now)
         scale = self.store.next_trial_scale(job.program, job.procs)
         if scale is None:
             # A trial is in flight: run this instance at the CE-style
             # default without recording.
-            return self._place_exclusive(cluster, job, scale=1)
-        decision = self._place_exclusive(cluster, job, scale)
+            return self._place_exclusive(cluster, job, scale=1,
+                                         meta={"degraded": True})
+        decision = self._place_exclusive(cluster, job, scale,
+                                         meta={"trial": True})
         if decision is not None:
             self.store.begin_trial(job.program, job.procs, scale)
             self._trials[job.job_id] = _Trial(

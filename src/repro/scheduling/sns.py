@@ -125,12 +125,14 @@ class SpreadNShareScheduler(BaseScheduler):
         return tuple(candidates)
 
     def _place_exclusive(
-        self, cluster: ClusterState, job: Job, scale: int
+        self, cluster: ClusterState, job: Job, scale: int,
+        meta: Optional[Dict] = None,
     ) -> Optional[Decision]:
         """CE-style exclusive placement on fully idle nodes, booking the
         whole LLC and memory bandwidth so nothing co-locates.  Used for
         profiling trial runs (online SNS) and as the degraded path when
-        no profile is available."""
+        no profile is available.  ``meta`` is forwarded to the decision
+        for the tracer (degraded / trial flags)."""
         spec = self.cluster_spec.node
         # Exclusive runs need fully idle nodes: until one frees up, the
         # skip index can pass this job over.
@@ -145,7 +147,7 @@ class SpreadNShareScheduler(BaseScheduler):
         decision = self._install(
             cluster, job, chosen, procs_per_node,
             ways=spec.llc_ways, bw_per_node=spec.peak_bw,
-            scale_factor=scale,
+            scale_factor=scale, meta=meta,
         )
         self._sanity_check_decision(decision)
         return decision
@@ -157,13 +159,15 @@ class SpreadNShareScheduler(BaseScheduler):
         if not self.profile_store_up:
             # Profile store down (fault-plan outage): no demand
             # estimates exist — degrade to exclusive placement.
-            return self._place_exclusive(cluster, job, scale=1)
+            return self._place_exclusive(cluster, job, scale=1,
+                                         meta={"degraded": True})
         alpha = job.alpha if job.alpha is not None else self.config.default_alpha
         candidates = self._scale_candidates(job, alpha, cluster.ctx)
         if candidates is None:
             # Profile lookup failed outright: degrade rather than
             # starve the job behind an error it cannot outwait.
-            return self._place_exclusive(cluster, job, scale=1)
+            return self._place_exclusive(cluster, job, scale=1,
+                                         meta={"degraded": True})
         if not candidates:
             return None
 
@@ -194,6 +198,7 @@ class SpreadNShareScheduler(BaseScheduler):
                 cluster, job, chosen, procs_per_node,
                 ways=demand.ways, bw_per_node=demand.bw_per_node,
                 scale_factor=k, net_per_node=demand.net_per_node,
+                meta={"candidates": len(candidates)},
             )
             self._sanity_check_decision(decision)
             return decision

@@ -556,6 +556,36 @@ class ClusterState:
                 "free-core index does not cover all up nodes"
             )
 
+    def gauge_columns(self) -> np.ndarray:
+        """Live per-node gauge matrix: rows are
+        :data:`repro.obs.timeseries.CHANNELS` (free cores, booked GB/s,
+        allocated dedicated ways, resident job count), columns are
+        nodes.  Down nodes read zero on every channel.  This is the
+        ground truth the trace-replayed series
+        (:func:`repro.obs.timeseries.timeseries_from_trace`) is
+        cross-validated against.
+
+        Unpartitioned ledgers never allocate ways, so the alloc_ways row
+        is identically zero for CE/CS — matching the way-capacity law in
+        :mod:`repro.obs.invariants`.
+        """
+        self._flush_arrays()
+        n = len(self.nodes)
+        gauges = np.empty((4, n), dtype=np.float64)
+        gauges[0] = self._free_cores_a
+        gauges[1] = self._booked_bw_a
+        if self.partitioned:
+            gauges[2] = self.spec.node.llc_ways - self._free_ways_a
+        else:
+            gauges[2] = 0.0
+        gauges[3] = np.fromiter(
+            (len(node._residents) for node in self.nodes),
+            dtype=np.float64, count=n,
+        )
+        for nid in self._down:
+            gauges[:, nid] = 0.0
+        return gauges
+
     def resident_jobs_on(self, node_ids: Iterable[int]) -> Set[int]:
         """Union of job ids resident on the given nodes."""
         out: Set[int] = set()

@@ -31,6 +31,12 @@ class EventKind(enum.IntEnum):
     PROFILE_UP = 4
     JOB_SUBMIT = 5
 
+    @property
+    def label(self) -> str:
+        """Lowercase wire name used by full-level trace batch records
+        (:meth:`repro.obs.trace.Tracer.batch`)."""
+        return self.name.lower()
+
 
 @dataclass(frozen=True, order=True)
 class Event:

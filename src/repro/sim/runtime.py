@@ -32,10 +32,11 @@ from repro.perfmodel.execution import (
     reference_time,
     scale_factor_of,
 )
+from repro.obs.telemetry import TelemetryRecorder
+from repro.obs.trace import TraceLevel, Tracer
 from repro.sim.cluster import ClusterState
 from repro.sim.engine import EventKind, EventQueue
 from repro.sim.job import Job, JobState, Placement
-from repro.sim.telemetry import TelemetryRecorder
 
 
 @dataclass(frozen=True)
@@ -50,6 +51,10 @@ class Decision:
     job: Job
     placement: Placement
     scale_factor: int
+    #: Optional decision context for the tracer (candidate-set size,
+    #: degraded-mode / trial-placement flags); never read by the
+    #: runtime's placement logic.
+    meta: Optional[dict] = None
 
 
 class SchedulerPolicy(Protocol):
@@ -108,6 +113,9 @@ class SimulationResult:
     #: refresh cycles, arbitration cache traffic, nodes scanned, jobs
     #: skipped, memo hit deltas (see DESIGN.md §7).
     counters: Dict[str, int] = field(default_factory=dict)
+    #: The run's structured tracer (DESIGN.md §10); ``None`` unless the
+    #: simulation was constructed with tracing enabled.
+    trace: Optional[Tracer] = None
 
     @property
     def finished_jobs(self) -> List[Job]:
@@ -173,6 +181,7 @@ class Simulation:
         jobs: Sequence[Job],
         config: SimConfig = SimConfig(),
         fault_plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         ids = [j.job_id for j in jobs]
         if len(set(ids)) != len(ids):
@@ -194,9 +203,17 @@ class Simulation:
         self.jobs: Dict[int, Job] = {j.job_id: j for j in jobs}
         self.pending: List[Job] = []
         self.events = EventQueue()
-        self.telemetry = (
-            TelemetryRecorder(cluster_spec.num_nodes) if config.telemetry else None
-        )
+        # Episode telemetry is lazy (DESIGN.md §10): the recorder is
+        # only built at run() start when the config asks for it, so a
+        # disabled-observability run allocates no recorder at all.
+        self.telemetry: Optional[TelemetryRecorder] = None
+        # This run's structured tracer: injected directly (tests,
+        # benches) or built from SimConfig.trace — same per-simulation
+        # ownership rule as the PerfContext, no globals.  ``None`` means
+        # every emission site below is a single ``is None`` check.
+        if tracer is None and config.trace is not None:
+            tracer = Tracer.from_config(config.trace, cluster_spec.num_nodes)
+        self.tracer = tracer
         self._spec = cluster_spec.node
         # Incremental liveness state: counting running jobs here keeps
         # _check_liveness O(1) instead of an O(total-jobs) scan at every
@@ -264,6 +281,7 @@ class Simulation:
         sim_config: SimConfig = SimConfig(),
         database=None,
         fault_plan: Optional[FaultPlan] = None,
+        tracer: Optional[Tracer] = None,
     ) -> "Simulation":
         """Construct a simulation from a policy *name* (a key of
         :data:`repro.scheduling.POLICIES`).  Every policy is built
@@ -275,7 +293,7 @@ class Simulation:
             cluster_spec, scheduler_config, database=database
         )
         return cls(cluster_spec, policy, jobs, sim_config,
-                   fault_plan=fault_plan)
+                   fault_plan=fault_plan, tracer=tracer)
 
     # ------------------------------------------------------------------ run
 
@@ -294,9 +312,24 @@ class Simulation:
         ``SimConfig(perf_caches=False)`` the per-event reference loop
         runs.
         """
+        if self.config.telemetry and self.telemetry is None:
+            self.telemetry = TelemetryRecorder(len(self.cluster.nodes))
         if self.telemetry is not None:
             for nid in range(len(self.cluster.nodes)):
                 self.telemetry.record(nid, 0.0, 0.0)
+        tracer = self.tracer
+        trace_full = tracer is not None \
+            and tracer.level >= TraceLevel.FULL
+        if tracer is not None:
+            tracer.meta(
+                policy=type(self.policy).__name__,
+                partitioned=self.policy.partitioned,
+                num_nodes=len(self.cluster.nodes),
+                cores=self._spec.cores,
+                llc_ways=self._spec.llc_ways,
+                peak_bw=self._spec.peak_bw,
+                n_jobs=len(self.jobs),
+            )
         coalesce = self.ctx.enabled
         while True:
             event = self.events.pop()
@@ -319,7 +352,10 @@ class Simulation:
             touched: Set[int] = set()
             for ev in events:
                 if ev.kind is EventKind.JOB_SUBMIT:
-                    self.pending.append(self.jobs[ev.job_id])
+                    job = self.jobs[ev.job_id]
+                    if tracer is not None:
+                        tracer.submit(now, job)
+                    self.pending.append(job)
                 elif ev.kind is EventKind.JOB_FINISH:
                     self._finish_job(self.jobs[ev.job_id], now,
                                      affected, touched)
@@ -328,9 +364,17 @@ class Simulation:
                                            affected, touched)
                 elif ev.kind is EventKind.NODE_RECOVER:
                     self._handle_node_recover(ev.job_id)
+                    if tracer is not None:
+                        tracer.node_recover(now, ev.job_id)
                 else:  # PROFILE_DOWN / PROFILE_UP
                     self._handle_profile_event(ev.kind)
+                    if tracer is not None:
+                        tracer.profile_store(
+                            now, ev.kind is EventKind.PROFILE_UP
+                        )
                 self._scheduling_point(now, affected, touched)
+            if trace_full:
+                tracer.batch(now, [e.kind.label for e in events])
             self._refresh(affected, touched, now)
             self._check_liveness()
             if self._has_faults and self._terminal == len(self.jobs):
@@ -351,6 +395,7 @@ class Simulation:
             telemetry=self.telemetry,
             events=self._events_processed,
             counters=self._collect_counters(),
+            trace=tracer,
         )
 
     def _collect_counters(self) -> Dict[str, int]:
@@ -388,6 +433,8 @@ class Simulation:
         for nid in placement.node_ids:
             self.cluster.remove(nid, job.job_id)
         job.complete(now)
+        if self.tracer is not None:
+            self.tracer.finish(now, job, placement.n_nodes)
         self._job_conds.pop(job.job_id, None)
         self._running -= 1
         self._terminal += 1
@@ -407,15 +454,19 @@ class Simulation:
         badput), then the node leaves the free-core index."""
         self._counters["node_failures"] += 1
         cluster = self.cluster
-        for jid in cluster.node(node_id).resident_job_ids:
-            self._evict_job(self.jobs[jid], now, affected, touched)
+        residents = cluster.node(node_id).resident_job_ids
+        if self.tracer is not None:
+            self.tracer.node_fail(now, node_id, len(residents))
+        for jid in residents:
+            self._evict_job(self.jobs[jid], node_id, now,
+                            affected, touched)
         cluster.fail_node(node_id)
         touched.add(node_id)
 
-    def _evict_job(self, job: Job, now: float,
+    def _evict_job(self, job: Job, failed_node: int, now: float,
                    affected: Set[int], touched: Set[int]) -> None:
         """Settle, tear down, and requeue (or fail) one running job hit
-        by a node failure."""
+        by the failure of ``failed_node``."""
         placement = job.placement
         assert placement is not None
         nodes = set(placement.node_ids)
@@ -423,6 +474,8 @@ class Simulation:
         for nid in placement.node_ids:
             self.cluster.remove(nid, job.job_id)
         self.events.cancel_finish(job.job_id)
+        tracer = self.tracer
+        lost_before = job.lost_node_seconds if tracer is not None else 0.0
         job.evict(now)
         self._job_conds.pop(job.job_id, None)
         self._running -= 1
@@ -434,13 +487,18 @@ class Simulation:
         affected.discard(job.job_id)
         if job.retries <= self._retry.max_retries:
             self._counters["job_retries"] += 1
-            self.events.push_submit(
-                now + self._retry.backoff_s, job.job_id
-            )
+            requeue_at: Optional[float] = now + self._retry.backoff_s
+            self.events.push_submit(requeue_at, job.job_id)
         else:
+            requeue_at = None
             job.mark_failed(now)
             self._counters["jobs_failed"] += 1
             self._terminal += 1
+        if tracer is not None:
+            tracer.evict(now, job, failed_node,
+                         job.lost_node_seconds - lost_before, requeue_at)
+            if requeue_at is None:
+                tracer.job_failed(now, job)
 
     def _handle_node_recover(self, node_id: int) -> None:
         """A failed node rejoins, empty; recovery is a scheduling point
@@ -458,7 +516,21 @@ class Simulation:
                           affected: Set[int], touched: Set[int]) -> None:
         if not self.pending:
             return
+        tracer = self.tracer
+        trace_sched = tracer is not None \
+            and tracer.level >= TraceLevel.EVENTS
+        if trace_sched:
+            pending_before = len(self.pending)
+            counters = self.policy.counters
+            tried_before = counters.get("try_place_calls", 0)
+            skipped_before = counters.get("jobs_skipped", 0)
         decisions = self.policy.schedule_point(self.cluster, self.pending, now)
+        if trace_sched:
+            tracer.sched(
+                now, pending_before, len(decisions),
+                counters.get("try_place_calls", 0) - tried_before,
+                counters.get("jobs_skipped", 0) - skipped_before,
+            )
         if not decisions:
             return
         placed_ids = {d.job.job_id for d in decisions}
@@ -473,6 +545,13 @@ class Simulation:
         # re-settling a job another event of this batch already settled.)
         affected.update(self._settle_residents(new_nodes, now))
         touched.update(new_nodes)
+        if tracer is not None:
+            # The policy installed every decision's slices before this
+            # loop, so partner sets would otherwise see jobs whose start
+            # records come *later* in the stream.  Emitting partners in
+            # record order (exclude not-yet-emitted co-starters) keeps
+            # the trace replayable.
+            unstarted = {d.job.job_id for d in decisions}
         for d in decisions:
             job = d.job
             if job not in self.pending:
@@ -487,6 +566,14 @@ class Simulation:
             job.begin(now, work, d.placement, d.scale_factor)
             self._running += 1
             affected.add(job.job_id)
+            if tracer is not None:
+                unstarted.discard(job.job_id)
+                partners = self.cluster.resident_jobs_on(
+                    d.placement.node_ids
+                )
+                partners.discard(job.job_id)
+                partners -= unstarted
+                tracer.start(now, job, d, partners)
 
     def _check_liveness(self) -> None:
         if self.pending and self._running == 0 \
@@ -538,6 +625,9 @@ class Simulation:
             return
         self._counters["refresh_cycles"] += 1
         self._counters["nodes_refreshed"] += len(nodes_needed)
+        tracer = self.tracer
+        trace_full = tracer is not None \
+            and tracer.level >= TraceLevel.FULL
         views = self.cluster.arbitration_batch(nodes_needed)
 
         # Nodes carrying identical slices yield identical conditions;
@@ -571,6 +661,8 @@ class Simulation:
             t_now = job_time(job.program, job.procs, conditions, self._spec)
             t_ref = reference_time(job.program, job.procs, self._spec)
             job.set_speed(t_ref / t_now)
+            if trace_full:
+                tracer.speed(now, jid, job.speed)
             self.events.push_finish(job.projected_finish(), jid)
 
         if self.telemetry is not None:
@@ -616,6 +708,9 @@ class Simulation:
             return
         self._counters["refresh_cycles"] += 1
         self._counters["nodes_refreshed"] += len(needed)
+        tracer = self.tracer
+        trace_full = tracer is not None \
+            and tracer.level >= TraceLevel.FULL
         views = self.cluster.arbitration_batch(needed)
         for job in refreshed:
             jid = job.job_id
@@ -674,6 +769,8 @@ class Simulation:
             )
             t_ref = reference_time(job.program, job.procs, self._spec)
             job.set_speed(t_ref / t_now)
+            if trace_full:
+                tracer.speed(now, jid, job.speed)
             self.events.push_finish(job.projected_finish(), jid)
 
         if self.telemetry is not None:

@@ -40,3 +40,45 @@ class TestExtensionExperiments:
         out = capsys.readouterr().out
         for exp in ("online", "ablations", "baselines", "fragmentation"):
             assert exp in out
+
+
+class TestTraceFlags:
+    def test_simulate_writes_jsonl_and_chrome(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import read_jsonl, verify_trace
+
+        jsonl = tmp_path / "run.jsonl"
+        chrome = tmp_path / "run.json"
+        assert main([
+            "simulate", "--policy", "SNS", "--nodes", "4", "--jobs", "6",
+            "--trace", str(jsonl), "--trace-chrome", str(chrome),
+            "--trace-level", "full",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "trace records" in out
+        assert "Chrome trace" in out
+        assert "gauges" in out  # terminal summary printed
+        events = read_jsonl(str(jsonl))
+        verify_trace(events, label="cli")
+        payload = json.loads(chrome.read_text())
+        assert payload["traceEvents"]
+        assert payload["otherData"]["policy"] == "SpreadNShareScheduler"
+
+    def test_trace_with_faults_replays_clean(self, capsys, tmp_path):
+        from repro.obs import read_jsonl, verify_trace
+
+        jsonl = tmp_path / "faults.jsonl"
+        assert main([
+            "simulate", "--policy", "CE", "--nodes", "4", "--jobs", "6",
+            "--faults", "mtbf=400,mttr=60,seed=2,horizon=1200",
+            "--trace", str(jsonl),
+        ]) == 0
+        events = read_jsonl(str(jsonl))
+        verify_trace(events, label="cli-faults")
+
+    def test_untraced_simulate_prints_no_trace_output(self, capsys):
+        assert main(["simulate", "--policy", "CE", "--nodes", "2",
+                     "--jobs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "trace" not in out

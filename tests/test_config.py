@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.config import SchedulerConfig, SimConfig
+from repro.config import SchedulerConfig, SimConfig, TraceConfig
 from repro.errors import ConfigError
 
 
@@ -41,7 +41,10 @@ class TestSimConfig:
     def test_defaults(self):
         config = SimConfig()
         assert config.episode_seconds == 30.0  # Fig 17 episodes
-        assert config.telemetry
+        # Observability is opt-in (DESIGN.md §10): no recorder, no
+        # tracer unless asked for.
+        assert not config.telemetry
+        assert config.trace is None
 
     @pytest.mark.parametrize("kwargs", [
         {"episode_seconds": 0.0},
@@ -50,6 +53,33 @@ class TestSimConfig:
     def test_rejects_invalid(self, kwargs):
         with pytest.raises(ConfigError):
             SimConfig(**kwargs)
+
+
+class TestTraceConfig:
+    def test_defaults(self):
+        config = TraceConfig()
+        assert config.level == "events"
+        assert config.timeseries
+        assert config.timeseries_capacity == 64
+
+    @pytest.mark.parametrize("kwargs", [
+        {"level": "verbose"},
+        {"level": ""},
+        {"timeseries_capacity": 2},
+        {"timeseries_capacity": 7},
+        {"timeseries_capacity": 0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            TraceConfig(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            TraceConfig().level = "full"
+
+    def test_carried_by_sim_config(self):
+        config = SimConfig(trace=TraceConfig(level="full"))
+        assert config.trace.level == "full"
 
 
 class TestPackageSurface:

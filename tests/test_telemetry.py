@@ -88,3 +88,244 @@ class TestMetrics:
         matrix = recorder.episode_matrix(30.0, 45.0)
         assert matrix.shape[1] == 2
         assert matrix[0, 1] == pytest.approx(60.0 * 15 / 30)
+
+
+# -- time-series collector (DESIGN.md §10) ---------------------------------
+
+class TestTimeSeries:
+    """The stride-doubling downsampler's preservation law: within every
+    retained bucket the element-wise min / max / last are exact."""
+
+    def _collect(self, n_samples, num_nodes=3, capacity=8, seed=11):
+        from repro.obs import CHANNELS, TimeSeries
+
+        rng = np.random.default_rng(seed)
+        series = TimeSeries(num_nodes=num_nodes, capacity=capacity)
+        retained = []  # (t, gauges) pairs the collector accepted
+        t = 0.0
+        for _ in range(n_samples):
+            t += float(rng.uniform(0.1, 2.0))
+            if series.due():
+                gauges = rng.uniform(0.0, 100.0,
+                                     size=(len(CHANNELS), num_nodes))
+                series.add(t, gauges)
+                retained.append((t, gauges))
+        return series, retained
+
+    @pytest.mark.parametrize("n_samples", [1, 7, 64, 500])
+    def test_min_max_last_preserved_at_every_sample(self, n_samples):
+        from repro.obs import CHANNELS
+
+        series, retained = self._collect(n_samples)
+        counts = series.sample_counts
+        assert counts.sum() == len(retained)
+        spans = series.spans
+        i = 0
+        for b, count in enumerate(counts):
+            chunk = retained[i:i + int(count)]
+            i += int(count)
+            assert spans[b][0] == chunk[0][0]   # bucket spans its samples
+            assert spans[b][1] == chunk[-1][0]
+            stack = np.stack([g for _, g in chunk])
+            reference = {
+                "min": stack.min(axis=0),
+                "max": stack.max(axis=0),
+                "last": chunk[-1][1],
+            }
+            for stat, expected in reference.items():
+                for c, channel in enumerate(CHANNELS):
+                    for node in range(series.num_nodes):
+                        got = series.node_series(channel, node, stat)[b]
+                        assert got == expected[c, node], \
+                            (stat, channel, node, b)
+
+    def test_memory_stays_bounded(self):
+        series, retained = self._collect(2000, capacity=8)
+        assert len(series) < 8
+        assert series.stride > 1  # compaction actually happened
+        # Every tick was either retained or skipped by the stride.
+        assert series.sample_counts.sum() == len(retained) < 2000
+
+    def test_finalize_forces_terminal_sample(self):
+        from repro.obs import CHANNELS, TimeSeries
+
+        series = TimeSeries(num_nodes=2, capacity=4)
+        gauges = np.ones((len(CHANNELS), 2))
+        assert series.due()
+        series.add(0.0, gauges)
+        for _ in range(5):
+            series.due()  # skipped ticks
+        series.finalize(99.0, gauges * 3)
+        assert series.times[-1] == 99.0
+        assert series.node_series("free_cores", 0, "last")[-1] == 3.0
+        # idempotent at the same timestamp
+        series.finalize(99.0, gauges * 9)
+        assert series.node_series("free_cores", 0, "last")[-1] == 3.0
+
+    def test_validation(self):
+        from repro.obs import CHANNELS, TimeSeries
+
+        with pytest.raises(SimulationError):
+            TimeSeries(num_nodes=0)
+        with pytest.raises(SimulationError):
+            TimeSeries(num_nodes=2, capacity=7)  # odd
+        with pytest.raises(SimulationError):
+            TimeSeries(num_nodes=2, capacity=2)  # too small
+        series = TimeSeries(num_nodes=2, capacity=4)
+        with pytest.raises(SimulationError):
+            series.add(0.0, np.zeros((len(CHANNELS), 5)))  # bad shape
+        series.add(1.0, np.zeros((len(CHANNELS), 2)))
+        with pytest.raises(SimulationError):
+            series.add(0.5, np.zeros((len(CHANNELS), 2)))  # backwards
+        with pytest.raises(SimulationError):
+            series.node_series("watts", 0)
+        with pytest.raises(SimulationError):
+            series.node_series("free_cores", 9)
+        with pytest.raises(SimulationError):
+            series.node_series("free_cores", 0, stat="median")
+
+
+class TestTimeSeriesFromTrace:
+    """The replayed gauge series must agree with the simulation's own
+    cluster state — the trace is a sufficient statistic for occupancy."""
+
+    def _run(self, capacity=256):
+        from repro.config import SimConfig, TraceConfig
+        from repro.experiments.common import run_policy
+        from repro.hardware.topology import ClusterSpec
+        from repro.workloads.sequences import random_sequence
+
+        return run_policy(
+            "SNS", ClusterSpec(num_nodes=4),
+            random_sequence(seed=9, n_jobs=10),
+            sim_config=SimConfig(
+                telemetry=False,
+                trace=TraceConfig(timeseries_capacity=capacity),
+            ),
+        )
+
+    def test_samples_match_result_occupancy(self):
+        """With a capacity large enough to avoid compaction, every
+        decision timestamp is retained; rebuild the expected gauges at
+        each one from the finished jobs' placements and intervals."""
+        from repro.scheduling.placement import split_procs
+
+        result = self._run()
+        series = result.trace.timeseries
+        assert series.stride == 1  # nothing was compacted
+        spec = None
+        for event in result.trace.events:
+            if event["ev"] == "meta":
+                spec = event
+                break
+        for b, t in enumerate(series.times):
+            free = np.full(4, float(spec["cores"]))
+            bw = np.zeros(4)
+            ways = np.zeros(4)
+            residents = np.zeros(4)
+            for job in result.finished_jobs:
+                # resident iff start <= t < finish (the finish record
+                # is applied before the timestamp's sample is taken)
+                if not (job.start_time <= t < job.finish_time):
+                    continue
+                placement = job.placement
+                splits = split_procs(job.procs, placement.node_ids)
+                for nid, procs in splits.items():
+                    free[nid] -= procs
+                    bw[nid] += placement.booked_bw
+                    ways[nid] += placement.dedicated_ways
+                    residents[nid] += 1
+            for node in range(4):
+                assert series.node_series("free_cores", node)[b] \
+                    == pytest.approx(free[node])
+                assert series.node_series("booked_bw", node)[b] \
+                    == pytest.approx(bw[node])
+                assert series.node_series("alloc_ways", node)[b] \
+                    == pytest.approx(ways[node])
+                assert series.node_series("residents", node)[b] \
+                    == pytest.approx(residents[node])
+
+    def test_final_sample_matches_live_gauges(self):
+        """After the run drains, the replayed terminal sample equals
+        the cluster's live gauge matrix (everything free again)."""
+        from repro.config import SimConfig, TraceConfig
+        from repro.hardware.topology import ClusterSpec
+        from repro.sim.runtime import Simulation
+        from repro.workloads.sequences import random_sequence
+
+        cluster = ClusterSpec(num_nodes=4)
+        sim = Simulation.from_policy_name(
+            "SNS", cluster, random_sequence(seed=9, n_jobs=10),
+            sim_config=SimConfig(telemetry=False, trace=TraceConfig()),
+        )
+        result = sim.run()
+        series = result.trace.timeseries
+        live = sim.cluster.gauge_columns()
+        final = np.array([
+            series.node_series(channel, node)[-1]
+            for channel in ("free_cores", "booked_bw", "alloc_ways",
+                            "residents")
+            for node in range(4)
+        ]).reshape(4, 4)
+        assert np.allclose(final, live)
+
+    def test_disabled_timeseries_is_none(self):
+        from repro.config import SimConfig, TraceConfig
+        from repro.experiments.common import run_policy
+        from repro.hardware.topology import ClusterSpec
+        from repro.workloads.sequences import random_sequence
+
+        result = run_policy(
+            "SNS", ClusterSpec(num_nodes=2),
+            random_sequence(seed=1, n_jobs=4),
+            sim_config=SimConfig(
+                telemetry=False,
+                trace=TraceConfig(timeseries=False),
+            ),
+        )
+        assert result.trace.timeseries is None
+
+    def test_rejects_stream_without_meta(self):
+        from repro.obs import timeseries_from_trace
+
+        with pytest.raises(SimulationError):
+            timeseries_from_trace([{"ev": "submit", "t": 0.0}])
+
+
+class TestObservabilityIsLazy:
+    """The latent-allocation fix: a run that asked for no observability
+    must construct neither a TelemetryRecorder nor a Tracer."""
+
+    def test_plain_run_allocates_nothing(self):
+        from repro.config import SimConfig
+        from repro.hardware.topology import ClusterSpec
+        from repro.obs import Tracer
+        from repro.sim.runtime import Simulation
+        from repro.workloads.sequences import random_sequence
+
+        recorders_before = TelemetryRecorder.created
+        tracers_before = Tracer.created
+        result = Simulation.from_policy_name(
+            "SNS", ClusterSpec(num_nodes=2),
+            random_sequence(seed=2, n_jobs=4),
+            sim_config=SimConfig(),  # observability defaults: all off
+        ).run()
+        assert TelemetryRecorder.created == recorders_before
+        assert Tracer.created == tracers_before
+        assert result.telemetry is None
+        assert result.trace is None
+
+    def test_telemetry_only_when_asked(self):
+        from repro.config import SimConfig
+        from repro.hardware.topology import ClusterSpec
+        from repro.sim.runtime import Simulation
+        from repro.workloads.sequences import random_sequence
+
+        before = TelemetryRecorder.created
+        result = Simulation.from_policy_name(
+            "CS", ClusterSpec(num_nodes=2),
+            random_sequence(seed=2, n_jobs=4),
+            sim_config=SimConfig(telemetry=True),
+        ).run()
+        assert TelemetryRecorder.created == before + 1
+        assert result.telemetry is not None

@@ -9,6 +9,13 @@ event loop show up as numbers, not vibes:
     PYTHONPATH=src python tools/bench_report.py [--label after]
     PYTHONPATH=src python tools/bench_report.py --no-caches --label ref
     PYTHONPATH=src python tools/bench_report.py --threads 4
+    PYTHONPATH=src python tools/bench_report.py --trace-gate
+
+``--trace-gate`` runs the grid twice — untraced, then with a
+full-level tracer — and enforces the DESIGN.md §10 observability
+contract: bit-identical results, invariant replay on every traced
+config, and at most 10 % wall-clock overhead (see
+:func:`run_trace_gate`).
 
 Each entry records per-configuration wall seconds, simulated events,
 events/second, and the kernel counters (batched arbitration solves,
@@ -43,13 +50,14 @@ from typing import Dict, List, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.config import SimConfig                      # noqa: E402
+from repro.config import SimConfig, TraceConfig         # noqa: E402
 from repro.experiments.common import run_all_policies   # noqa: E402
 from repro.experiments.concurrent import run_grid_threads  # noqa: E402
 from repro.experiments.fig20_large_cluster import (     # noqa: E402
     smoke_trace_config,
 )
 from repro.hardware.topology import ClusterSpec         # noqa: E402
+from repro.obs import verify_trace, write_chrome_trace  # noqa: E402
 from repro.workloads.trace import synthesize_trace      # noqa: E402
 
 #: The benchmark grid (fixed: changing it would break comparability).
@@ -74,18 +82,25 @@ COUNTER_COLUMNS = (
 def _run_one(task: tuple) -> dict:
     """One grid point: an independent simulation with a private
     PerfContext (``SimConfig.perf_caches`` picks the cache mode), so
-    this worker is safe to run on any thread."""
-    ratio, nodes, policy, jobs, caches = task
+    this worker is safe to run on any thread.
+
+    With ``trace=True`` the run carries a full-level tracer (the
+    maximum-observability configuration: every record kind plus the
+    time-series collector); the resulting trace is replayed through the
+    invariant checker after the timed region, and optionally exported
+    as a Chrome trace (``chrome_out``)."""
+    ratio, nodes, policy, jobs, caches, trace, chrome_out = task
     cluster = ClusterSpec(num_nodes=nodes)
+    trace_config = TraceConfig(level="full") if trace else None
     start = time.perf_counter()
     runs = run_all_policies(
         cluster, jobs, policy_names=(policy,),
         sim_config=SimConfig(telemetry=False, max_sim_time=1e12,
-                             perf_caches=caches),
+                             perf_caches=caches, trace=trace_config),
     )
     wall = time.perf_counter() - start
     result = runs[policy]
-    return {
+    entry = {
         "policy": policy,
         "nodes": nodes,
         "ratio": ratio,
@@ -99,23 +114,46 @@ def _run_one(task: tuple) -> dict:
             for key in COUNTER_COLUMNS
         },
     }
+    if trace:
+        tracer = result.trace
+        assert tracer is not None
+        # Invariant replay (outside the timed region): every smoke-grid
+        # experiment's trace must satisfy the conservation laws.
+        verify_trace(tracer.events,
+                     label=f"{policy}/{nodes}/{ratio}")
+        entry["trace_records"] = len(tracer.events)
+        if chrome_out:
+            write_chrome_trace(tracer.events, chrome_out,
+                               tracer.timeseries)
+    return entry
 
 
 def run_grid(caches: bool = True, threads: int = 1,
-             verbose: bool = True) -> dict:
+             verbose: bool = True, trace: bool = False,
+             chrome_out: Optional[str] = None) -> dict:
     """Run the smoke grid once; returns the BENCH_sim entry payload.
 
     ``threads > 1`` interleaves the grid points on a thread pool; the
     per-config results are bit-identical to a serial run by the
-    state-ownership contract (DESIGN.md §9)."""
+    state-ownership contract (DESIGN.md §9).  ``trace=True`` runs every
+    grid point with a full-level tracer and replays each trace through
+    the invariant checker; ``chrome_out`` additionally exports the first
+    SNS config's Chrome trace."""
     trace_config = smoke_trace_config()
-    tasks = []
+    tasks: List[list] = []
     for ratio in RATIOS:
         jobs = synthesize_trace(seed=SEED, scaling_ratio=ratio,
                                 config=trace_config)
         for nodes in SIZES:
             for policy in POLICIES:
-                tasks.append((ratio, nodes, policy, jobs, caches))
+                tasks.append([ratio, nodes, policy, jobs, caches,
+                              trace, None])
+    if chrome_out is not None:
+        for task in tasks:
+            if task[2] == "SNS":
+                task[6] = chrome_out
+                break
+    tasks = [tuple(t) for t in tasks]
     start = time.perf_counter()
     if threads > 1:
         configs = run_grid_threads(_run_one, tasks, threads=threads)
@@ -137,6 +175,7 @@ def run_grid(caches: bool = True, threads: int = 1,
         "grid": "fig20-smoke 2x2x2",
         "caches": caches,
         "threads": threads,
+        "trace": trace,
         "total_wall_s": round(total_wall, 4),
         "total_events": total_events,
         "events_per_s": round(total_events / total_wall, 1),
@@ -171,6 +210,75 @@ def check_divergence(report: dict, label: str) -> List[str]:
     return problems
 
 
+#: Full tracing may cost at most this factor in grid wall-clock
+#: (DESIGN.md §10 overhead budget; the trace gate exits 3 beyond it).
+TRACE_OVERHEAD_LIMIT = 1.10
+
+
+def run_trace_gate(args: argparse.Namespace) -> int:
+    """The tracer-overhead gate (``--trace-gate``).
+
+    Runs the smoke grid twice — untraced, then with full-level tracing —
+    and enforces the DESIGN.md §10 observability contract:
+
+    * traced results are **bit-identical** to untraced ones (and to any
+      committed BENCH_sim.json entry) — exit 2 on divergence;
+    * every traced config's record stream passes the invariant replay
+      (:func:`repro.obs.verify_trace` raises inside the worker);
+    * the traced grid costs at most ``TRACE_OVERHEAD_LIMIT`` x the
+      untraced wall-clock — exit 3 beyond the budget.
+
+    Results are compared in memory only; nothing is written to
+    BENCH_sim.json (the gate is not a benchmark baseline).
+    """
+    print("trace gate: smoke grid untraced vs --trace-level full ...")
+    # Two repetitions per pass, best total kept: the walls being
+    # compared differ by less than run-to-run machine noise, so a
+    # single-shot ratio would make the gate flaky.
+    plain = traced = None
+    for rep in range(2):
+        print(f"untraced pass {rep + 1}:")
+        entry = run_grid(caches=True, threads=1, verbose=rep == 0)
+        print(f"  total {entry['total_wall_s']:.2f}s")
+        if plain is None or entry["total_wall_s"] < plain["total_wall_s"]:
+            plain = entry
+        print(f"traced pass {rep + 1} (full level):")
+        entry = run_grid(caches=True, threads=1, verbose=rep == 0,
+                         trace=True, chrome_out=args.chrome_out)
+        print(f"  total {entry['total_wall_s']:.2f}s")
+        if traced is None \
+                or entry["total_wall_s"] < traced["total_wall_s"]:
+            traced = entry
+
+    report = {"untraced": plain, "traced-full": traced}
+    path = Path(args.output)
+    if path.exists():
+        for name, entry in json.loads(path.read_text()).items():
+            report.setdefault(f"bench:{name}", entry)
+    problems = check_divergence(report, "traced-full")
+    if problems:
+        print(f"FATAL: tracing changed results "
+              f"({len(problems)} mismatches):", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        return 2
+
+    records = sum(c.get("trace_records", 0) for c in traced["configs"])
+    print(f"invariant replay: OK on {len(traced['configs'])} configs "
+          f"({records} trace records)")
+    if args.chrome_out:
+        print(f"wrote Chrome trace artifact to {args.chrome_out}")
+    overhead = traced["total_wall_s"] / plain["total_wall_s"]
+    print(f"tracer overhead: {overhead:.3f}x "
+          f"(budget {TRACE_OVERHEAD_LIMIT:.2f}x)")
+    if overhead > TRACE_OVERHEAD_LIMIT:
+        print("FATAL: full tracing exceeds the wall-clock overhead "
+              "budget", file=sys.stderr)
+        return 3
+    print("trace gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default=None,
@@ -181,8 +289,20 @@ def main(argv=None) -> int:
     parser.add_argument("--threads", type=int, default=1, metavar="N",
                         help="run the grid on an N-thread pool and gate "
                              "bit-identity against serial entries")
+    parser.add_argument("--trace-gate", action="store_true",
+                        help="gate the observability layer: run the grid "
+                             "untraced and fully traced, require "
+                             "bit-identical results, passing invariant "
+                             "replay, and <= 10%% wall-clock overhead")
+    parser.add_argument("--chrome-out", default=None, metavar="PATH",
+                        help="with --trace-gate: export one traced "
+                             "config's Chrome trace_event file (CI "
+                             "artifact)")
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_sim.json"))
     args = parser.parse_args(argv)
+
+    if args.trace_gate:
+        return run_trace_gate(args)
 
     caches = not args.no_caches
     label: Optional[str] = args.label
