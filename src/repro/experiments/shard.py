@@ -1,0 +1,210 @@
+"""Process-sharded experiment grids with shared-memory result buffers.
+
+:func:`run_grid_processes` is the process-level sibling of
+:func:`repro.experiments.concurrent.run_grid_threads`: the grid's tasks
+are sharded round-robin across ``multiprocessing.Process`` workers, and
+every task's result travels back through a preallocated
+``multiprocessing.shared_memory`` slot instead of a pickle pipe.  The
+differences from :func:`repro.experiments.parallel.grid_map` (the
+``ProcessPoolExecutor`` wrapper) are deliberate:
+
+* **forked workers, no executor** — each shard is one plain ``fork``
+  child, so the tasks themselves are never pickled: workers inherit the
+  parent's synthesized job lists and closures by address space.  Only
+  results cross the process boundary;
+* **shared-memory result slots** — the parent owns one fixed-capacity
+  buffer per task.  Workers write ``status + length + payload`` records
+  into their tasks' slots; the parent maps them back *in task order*
+  after joining, so the merged list is a drop-in for the serial run.
+  Parent ownership also keeps the resource tracker quiet: the buffers
+  are created and unlinked by exactly one process;
+* **degradation, not failure** — a platform without ``fork`` (or an
+  OS refusing to start processes) falls back to the serial path, and a
+  result too large for its slot is transparently re-run in the parent.
+
+Like the thread runner, every simulation owns a private
+:class:`~repro.perfmodel.context.PerfContext` (DESIGN.md §9), so a
+sharded run is **bit-identical** to the same grid run serially —
+``tools/bench_report.py --processes N`` gates exactly that.
+
+Worker exceptions propagate to the caller in task order: the first
+failing task's exception is re-raised in the parent, matching what the
+serial loop would have raised first.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Callable, List, Optional, Sequence, TypeVar
+
+from repro.errors import SimulationError
+from repro.experiments.parallel import resolve_jobs
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Slot layout: 1 status byte, 8 little-endian payload-length bytes,
+#: then the pickled payload.
+_HEADER_BYTES = 9
+_EMPTY = 0          # worker never reached this task (crash upstream)
+_OK = 1             # payload is the pickled result
+_ERROR = 2          # payload is the pickled exception
+_OVERFLOW = 3       # result outgrew the slot; parent re-runs the task
+
+#: Default per-task slot capacity.  Grid results are small dicts (a few
+#: KiB); a 1 MiB slot leaves two orders of magnitude of headroom while
+#: staying far below any ``/dev/shm`` quota for realistic grid sizes.
+DEFAULT_SLOT_BYTES = 1 << 20
+
+
+def _write_record(buf, status: int, payload: bytes) -> None:
+    """Serialize one ``status + length + payload`` record into a slot."""
+    buf[1:_HEADER_BYTES] = len(payload).to_bytes(8, "little")
+    buf[_HEADER_BYTES:_HEADER_BYTES + len(payload)] = payload
+    # Status goes last: a torn write must read as EMPTY, never as a
+    # valid record with a garbage payload.
+    buf[0] = status
+
+
+def _shard_main(worker, tasks, indices, shm_names, slot_bytes) -> None:
+    """Worker body: run this shard's tasks, one shared-memory slot each.
+
+    Every task writes its own record — result, pickled exception, or an
+    overflow marker — so one bad task never poisons the rest of the
+    shard.  Runs tasks in shard order (ascending task index), matching
+    the serial loop's relative order within the shard.
+    """
+    from multiprocessing import shared_memory
+
+    for index in indices:
+        shm = shared_memory.SharedMemory(name=shm_names[index])
+        try:
+            status, payload = _OK, b""
+            try:
+                payload = pickle.dumps(
+                    worker(tasks[index]), pickle.HIGHEST_PROTOCOL
+                )
+            except BaseException as exc:  # noqa: BLE001 — crosses process
+                status = _ERROR
+                try:
+                    payload = pickle.dumps(exc, pickle.HIGHEST_PROTOCOL)
+                except Exception:
+                    payload = pickle.dumps(
+                        SimulationError(
+                            f"task {index} raised an unpicklable "
+                            f"{type(exc).__name__}: {exc!r}"
+                        ),
+                        pickle.HIGHEST_PROTOCOL,
+                    )
+            if len(payload) > slot_bytes - _HEADER_BYTES:
+                _write_record(shm.buf, _OVERFLOW, b"")
+            else:
+                _write_record(shm.buf, status, payload)
+        finally:
+            shm.close()
+
+
+def run_grid_processes(
+    worker: Callable[[T], R],
+    tasks: Sequence[T],
+    processes: Optional[int] = None,
+    slot_bytes: int = DEFAULT_SLOT_BYTES,
+) -> List[R]:
+    """Map ``worker`` over ``tasks`` on forked worker processes.
+
+    Drop-in for ``[worker(t) for t in tasks]``: results come back in
+    task order regardless of completion order and are bit-identical to
+    the serial run (each task constructs its own simulation and
+    therefore its own perf context).  ``processes`` follows the same
+    convention as :func:`repro.experiments.parallel.resolve_jobs`:
+    ``None``/``1`` serial, ``<= 0`` one worker per CPU.
+
+    Environments without ``fork`` degrade to the serial path; a result
+    larger than ``slot_bytes`` is re-run in the parent (correct, just
+    not parallel for that task).
+    """
+    tasks = list(tasks)
+    n_workers = min(resolve_jobs(processes), len(tasks))
+    if n_workers <= 1 or len(tasks) <= 1:
+        return [worker(t) for t in tasks]
+    try:
+        import multiprocessing
+        from multiprocessing import shared_memory
+
+        ctx = multiprocessing.get_context("fork")
+    except (ImportError, ValueError):
+        # No fork on this platform: workers could not inherit unpickled
+        # tasks, so the whole design degrades to the serial path.
+        return [worker(t) for t in tasks]
+
+    slots = []
+    procs = []
+    try:
+        try:
+            for _ in tasks:
+                slots.append(
+                    shared_memory.SharedMemory(create=True, size=slot_bytes)
+                )
+        except OSError:
+            return [worker(t) for t in tasks]
+        shm_names = [s.name for s in slots]
+        # Round-robin sharding: task costs in a grid correlate with
+        # position (e.g. cluster size sweeps), so striping balances the
+        # shards better than contiguous chunks.
+        shards = [
+            list(range(w, len(tasks), n_workers)) for w in range(n_workers)
+        ]
+        try:
+            for indices in shards:
+                p = ctx.Process(
+                    target=_shard_main,
+                    args=(worker, tasks, indices, shm_names, slot_bytes),
+                )
+                p.start()
+                procs.append(p)
+        except OSError:
+            for p in procs:
+                p.terminate()
+                p.join()
+            return [worker(t) for t in tasks]
+        for p in procs:
+            p.join()
+
+        results: List[R] = []
+        first_error: Optional[BaseException] = None
+        for index, shm in enumerate(slots):
+            status = shm.buf[0]
+            if status == _EMPTY:
+                shard = procs[index % n_workers]
+                raise SimulationError(
+                    f"grid worker for task {index} died without a result "
+                    f"(exit code {shard.exitcode})"
+                )
+            if status == _OVERFLOW:
+                # The record outgrew its slot: redo this task in the
+                # parent.  Same worker, same task — bit-identical, just
+                # not parallel.
+                results.append(worker(tasks[index]))
+                continue
+            length = int.from_bytes(
+                bytes(shm.buf[1:_HEADER_BYTES]), "little"
+            )
+            payload = pickle.loads(
+                bytes(shm.buf[_HEADER_BYTES:_HEADER_BYTES + length])
+            )
+            if status == _ERROR:
+                if first_error is None:
+                    first_error = payload
+                continue
+            results.append(payload)
+        if first_error is not None:
+            raise first_error
+        return results
+    finally:
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+                p.join()
+        for shm in slots:
+            shm.close()
+            shm.unlink()

@@ -193,18 +193,14 @@ class BaseScheduler(abc.ABC):
         context for the tracer (candidate-set size, degraded/trial
         flags) and is never read by placement logic."""
         n_nodes = len(node_ids)
-        installed = []
-        try:
-            for nid in node_ids:
-                cluster.place(
-                    nid, job.job_id, job.program, procs_per_node[nid],
-                    ways, bw_per_node, n_nodes, net=net_per_node,
-                )
-                installed.append(nid)
-        except Exception:
-            for nid in installed:  # keep cluster consistent on failure
-                cluster.remove(nid, job.job_id)
-            raise
+        # Batched install: one fancy-indexed write per capacity column
+        # instead of a per-node place() walk.  place_slices validates
+        # before mutating, so a failed placement leaves the cluster
+        # untouched — no rollback loop needed here.
+        cluster.place_slices(
+            node_ids, job.job_id, job.program, procs_per_node,
+            ways, bw_per_node, n_nodes, net=net_per_node,
+        )
         placement = Placement(
             node_ids=tuple(node_ids),
             procs_per_node=dict(procs_per_node),

@@ -8,18 +8,23 @@ simulated clusters of Fig 20.
 
 from __future__ import annotations
 
+from collections import Counter, deque
 from dataclasses import dataclass, field
-from itertools import islice
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from itertools import islice, repeat
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
-from repro.errors import SimulationError
+from repro.errors import AllocationError, SimulationError
 from repro.hardware.topology import ClusterSpec
 from repro.perfmodel import batch
 from repro.perfmodel.context import PerfContext, resolve_cache_mode
-from repro.perfmodel.contention import arbitrate_node, node_network_load
-from repro.sim.node import NodeState
+from repro.perfmodel.contention import (
+    Slice,
+    arbitrate_node,
+    node_network_load,
+)
+from repro.sim.node import NodeColumns, NodeState, _Resident
 
 #: Cached per-node arbitration, stored positionally so signature-shared
 #: results fan out to sibling nodes as plain tuple packing: (resident job
@@ -29,6 +34,10 @@ from repro.sim.node import NodeState
 ArbitrationView = Tuple[
     Tuple[int, ...], Tuple[float, ...], float, Tuple[float, ...]
 ]
+
+#: Placeholder in arbitration_batch's per-call identity memo for a
+#: signature whose representative is queued for the batched solve.
+_AWAITING_SOLVE: tuple = ()
 
 
 @dataclass
@@ -79,6 +88,13 @@ class ClusterState:
     def __post_init__(self) -> None:
         if self.ctx is None:
             self.ctx = PerfContext(enabled=resolve_cache_mode())
+        # The struct-of-arrays node hot state (DESIGN.md §7): the columns
+        # ARE the per-node free capacities — every NodeState below is a
+        # thin view over its slot, and the vectorized paths (scan_hosts,
+        # pick_idlest, place_slices/remove_slices) read and write the
+        # contiguous arrays directly.  There is no shadow copy to flush.
+        n = self.spec.num_nodes
+        self.columns = NodeColumns(n, self.spec.node)
         self.nodes = [
             NodeState(
                 node_id=i,
@@ -86,11 +102,13 @@ class ClusterState:
                 partitioned=self.partitioned,
                 enforce_bw=self.enforce_bw,
                 share_residual=self.share_residual,
+                columns=self.columns,
+                slot=i,
             )
-            for i in range(self.spec.num_nodes)
+            for i in range(n)
         ]
         self._by_free_cores = {
-            self.spec.node.cores: dict.fromkeys(range(len(self.nodes)))
+            self.spec.node.cores: dict.fromkeys(range(n))
         }
         self._arb_cache = {}
         self._view_cache = {}
@@ -110,23 +128,6 @@ class ClusterState:
         # Per-bucket node-id arrays for scan_hosts, invalidated when a
         # node enters or leaves the bucket.
         self._bucket_arrays: Dict[int, np.ndarray] = {}
-        # Columnar mirror of each node's free capacities.  place/remove
-        # only mark nodes dirty; scan_hosts() flushes the dirty set in one
-        # batched fancy-indexed write before filtering whole buckets
-        # vectorized — per-element numpy scalar stores on every mutation
-        # were measurably slower than the batch.
-        n = len(self.nodes)
-        node = self.spec.node
-        self._dirty: Dict[int, None] = {}
-        self._free_cores_a = np.full(n, node.cores, dtype=np.int64)
-        self._free_ways_a = np.full(n, node.llc_ways, dtype=np.int64)
-        self._parts_a = np.zeros(n, dtype=np.int64)
-        # The float columns store free capacity *plus* can_host's 1e-9
-        # comparison slack, so scans compare against the raw demand
-        # without a per-scan vector add.
-        self._bw_eps_a = np.full(n, node.peak_bw + 1e-9, dtype=np.float64)
-        self._net_eps_a = np.full(n, 1.0 + 1e-9, dtype=np.float64)
-        self._booked_bw_a = np.zeros(n, dtype=np.float64)
 
     # -- index maintenance -----------------------------------------------------
 
@@ -157,23 +158,373 @@ class ClusterState:
 
         Arguments after ``node_id`` mirror :meth:`NodeState.place`.
         """
-        node = self.nodes[node_id]
-        cores = node.spec.cores
-        old = cores - node._used_cores
-        node.place(job_id, program, procs, ways, bw, n_nodes, net)
-        self._reindex(node_id, old, cores - node._used_cores)
+        old = int(self.columns.free_cores[node_id])
+        self.nodes[node_id].place(job_id, program, procs, ways, bw,
+                                  n_nodes, net)
+        self._reindex(node_id, old, old - procs)
         self._arb_cache.pop(node_id, None)
-        self._dirty[node_id] = None
 
     def remove(self, node_id: int, job_id: int) -> None:
-        node = self.nodes[node_id]
-        cores = node.spec.cores
-        old = cores - node._used_cores
-        node.remove(job_id)
-        self._reindex(node_id, old, cores - node._used_cores)
+        cols = self.columns
+        old = int(cols.free_cores[node_id])
+        self.nodes[node_id].remove(job_id)
+        self._reindex(node_id, old, int(cols.free_cores[node_id]))
         self._arb_cache.pop(node_id, None)
-        self._dirty[node_id] = None
         self.release_epoch += 1
+
+    def place_slices(self, node_ids: Sequence[int], job_id: int, program,
+                     procs_per_node: Dict[int, int], ways: int, bw: float,
+                     n_nodes: int, net: float = 0.0) -> None:
+        """Install one job's slices on all its nodes in one batch.
+
+        Semantically ``for nid in node_ids: place(nid, ...)``, but the
+        capacity columns mutate through fancy-indexed array ops and the
+        per-node Python bookkeeping shares one resident record and one
+        signature item per distinct process count (an even split has at
+        most two).  Validation runs *before* any mutation, so a raised
+        :class:`AllocationError` leaves the cluster untouched — no
+        caller-side rollback.
+        """
+        count = len(node_ids)
+        if count == 0:
+            raise AllocationError("placement names no nodes")
+        if net < 0:
+            raise AllocationError("network booking must be non-negative")
+        nodes = self.nodes
+        cols = self.columns
+        arr = np.fromiter(node_ids, dtype=np.int64, count=count)
+        if count > 1 and len(set(node_ids)) != count:
+            raise AllocationError("placement names a node twice")
+        old_free_arr = cols.free_cores[arr]
+        old_free = old_free_arr.tolist()
+        procs_list = [procs_per_node[nid] for nid in node_ids]
+        procs_arr = np.asarray(procs_list, dtype=np.int64)
+        partitioned = self.partitioned
+        # Vectorized validation: the whole-batch numpy checks decide
+        # pass/fail; only a failing batch walks the nodes again to raise
+        # the same per-node error the scalar path would.
+        bad = bool(np.any(procs_arr > old_free_arr))
+        if partitioned:
+            if ways < cols.min_ways:
+                raise AllocationError(
+                    f"job {job_id} requested {ways} ways; minimum is "
+                    f"{cols.min_ways} (associativity floor)"
+                )
+            bad = bad \
+                or bool(np.any(cols.parts[arr] >= cols.max_partitions)) \
+                or bool(np.any(cols.free_ways[arr] < ways))
+        nodes_list = [nodes[i] for i in node_ids]
+        res_dicts = [n._residents for n in nodes_list]
+        # Duplicate-resident check, pruned to occupied nodes through the
+        # n_res column (an idle node cannot already host this job).
+        busy = cols.n_res[arr] > 0
+        busy_any = bool(busy.any())
+        if busy_any and any(
+            map(dict.__contains__, res_dicts, repeat(job_id))
+        ):
+            for nid, residents in zip(node_ids, res_dicts):
+                if job_id in residents:
+                    raise AllocationError(
+                        f"job {job_id} already on node {nid}"
+                    )
+        if bad:
+            free_ways = cols.free_ways[arr].tolist()
+            parts = cols.parts[arr].tolist()
+            for i, nid in enumerate(node_ids):
+                if procs_list[i] > old_free[i]:
+                    raise AllocationError(
+                        f"node {nid} has {old_free[i]} free cores; "
+                        f"{procs_list[i]} requested"
+                    )
+                if partitioned:
+                    if parts[i] >= cols.max_partitions:
+                        raise AllocationError(
+                            f"node already has {parts[i]} CAT partitions "
+                            f"(max {cols.max_partitions})"
+                        )
+                    if ways > free_ways[i]:
+                        raise AllocationError(
+                            f"job {job_id} requested {ways} ways; "
+                            f"only {free_ways[i]} free"
+                        )
+            raise AllocationError("place_slices validation out of sync")
+        # -- columns (single fancy-indexed op per array) -------------------
+        cols.free_cores[arr] -= procs_arr
+        cols.n_res[arr] += 1
+        if partitioned:
+            cols.free_ways[arr] -= ways
+            cols.parts[arr] += 1
+        # Booked totals grow by one elementwise IEEE addition (identical
+        # to extending the scalar left-to-right sum); a 0.0 booking is a
+        # bitwise no-op and skips the float work entirely.
+        if bw != 0.0:
+            cols.booked_bw[arr] += bw
+            cols.bw_eps[arr] = (cols.peak_bw - cols.booked_bw[arr]) + 1e-9
+        if net != 0.0:
+            cols.booked_net[arr] += net
+            cols.net_eps[arr] = (1.0 - cols.booked_net[arr]) + 1e-9
+        # -- per-node bookkeeping ------------------------------------------
+        sig_ways = ways if partitioned else 0
+        sig_bw = bw if self.enforce_bw else -1.0
+        pid = id(program)
+        # One resident record, signature item, and — for nodes that were
+        # empty before this batch — one fully-assembled arb signature per
+        # distinct process count (an even split has at most two).  Cohort
+        # nodes sharing the signature *object* lets arbitration_batch
+        # collapse them through an identity memo without rebuilding or
+        # re-hashing per node.
+        shared: Dict[int, tuple] = {}
+        for procs in set(procs_list):
+            key = (
+                ((pid, procs, n_nodes, sig_ways, sig_bw),),
+                cols.llc_ways - ways if partitioned else procs,
+            )
+            shared[procs] = (
+                _Resident(program, procs, n_nodes, bw, net),
+                (key, (job_id,), (program,)),
+            )
+        # The per-node writes run as C-level bulk dict/attribute ops —
+        # no interpreted loop body per slice.  A previously-empty node's
+        # signature is the cohort's shared one (sole resident, full
+        # residual ways / sole core user); an occupied node with a
+        # current signature *extends* it in place of a lazy rebuild
+        # (the new resident appends at the end of insertion order, and
+        # the residual shifts by exactly this slice's ways/cores) —
+        # both match what arb_signature() would rebuild from scratch.
+        if len(shared) == 1:
+            pair = shared[procs_list[0]]
+            deque(map(dict.__setitem__, res_dicts, repeat(job_id),
+                      repeat(pair[0])), maxlen=0)
+        else:
+            deque(map(dict.__setitem__, res_dicts, repeat(job_id),
+                      [shared[p][0] for p in procs_list]), maxlen=0)
+        if not busy_any:
+            if len(shared) == 1:
+                deque(map(setattr, nodes_list, repeat("_arb_sig"),
+                          repeat(shared[procs_list[0]][1])), maxlen=0)
+            else:
+                deque(map(setattr, nodes_list, repeat("_arb_sig"),
+                          [shared[p][1] for p in procs_list]), maxlen=0)
+        else:
+            for node, p, b in zip(nodes_list, procs_list, busy.tolist()):
+                if not b:
+                    node._arb_sig = shared[p][1]
+                    continue
+                sig = node._arb_sig
+                if sig is None:
+                    continue
+                okey = sig[0]
+                node._arb_sig = (
+                    (
+                        okey[0] + shared[p][1][0][0],
+                        okey[1] - ways if partitioned else okey[1] + p,
+                    ),
+                    sig[1] + (job_id,),
+                    sig[2] + (program,),
+                )
+        if partitioned:
+            deque(map(dict.__setitem__,
+                      [n._alloc for n in nodes_list],
+                      repeat(job_id), repeat(ways)), maxlen=0)
+        deque(map(self._arb_cache.pop, node_ids, repeat(None)), maxlen=0)
+        self._reindex_batch(node_ids, old_free, procs_list, -1)
+
+    def remove_slices(self, node_ids: Sequence[int], job_id: int) -> None:
+        """Remove one job's slices from all its nodes in one batch
+        (semantically ``for nid in node_ids: remove(nid, ...)``, with a
+        single ``release_epoch`` bump — the epoch is only ever compared
+        for equality, so batching the bumps is observationally
+        identical).  Booked float columns are re-summed from the
+        remaining residents in insertion order (float subtraction does
+        not invert addition); a node left empty resets to exact zeros.
+
+        Per-node bookkeeping runs as C-level bulk dict/attribute ops;
+        only nodes that keep residents with live bookings walk a Python
+        re-sum.  One job books identical ways/bandwidth/network on every
+        node of its placement (``place_slices`` takes them as scalars),
+        so one slice decides the batch-wide re-sum and ways values.
+        """
+        count = len(node_ids)
+        nodes = self.nodes
+        cols = self.columns
+        arr = np.fromiter(node_ids, dtype=np.int64, count=count)
+        old_free = cols.free_cores[arr].tolist()
+        partitioned = self.partitioned
+        nodes_list = [nodes[i] for i in node_ids]
+        res_dicts = [n._residents for n in nodes_list]
+        first = res_dicts[0].get(job_id)
+        if first is None:
+            raise AllocationError(f"job {job_id} not on node {node_ids[0]}")
+        resum = first.booked_bw != 0.0 or first.booked_net != 0.0
+        # Nodes keeping residents (before the decrement below) need
+        # their booked sums rebuilt and their signatures shrunk;
+        # emptied nodes reset to zeros / None.
+        kept = cols.n_res[arr] > 1
+        kept_pos = np.nonzero(kept)[0].tolist()
+        try:
+            if partitioned:
+                ways = nodes_list[0]._alloc[job_id]
+                deque(map(dict.__delitem__,
+                          [n._alloc for n in nodes_list],
+                          repeat(job_id)), maxlen=0)
+            removed = list(map(dict.pop, res_dicts, repeat(job_id)))
+        except KeyError:
+            for nid, residents in zip(node_ids, res_dicts):
+                if job_id not in residents:
+                    raise AllocationError(
+                        f"job {job_id} not on node {nid}"
+                    ) from None
+            raise
+        procs_list = [r.procs for r in removed]
+        # A surviving node with a current signature *shrinks* it in
+        # place of a lazy rebuild: dropping position ``idx`` from each
+        # parallel tuple and shifting the residual by exactly this
+        # slice's ways/cores matches what arb_signature() would rebuild
+        # from the surviving residents in insertion order.
+        shrunk: List[Optional[tuple]] = []
+        for i in kept_pos:
+            sig = nodes_list[i]._arb_sig
+            if sig is None:
+                shrunk.append(None)
+                continue
+            jids = sig[1]
+            idx = jids.index(job_id)
+            okey = sig[0]
+            items = okey[0]
+            shrunk.append((
+                (
+                    items[:idx] + items[idx + 1:],
+                    okey[1] + ways if partitioned
+                    else okey[1] - procs_list[i],
+                ),
+                jids[:idx] + jids[idx + 1:],
+                sig[2][:idx] + sig[2][idx + 1:],
+            ))
+        deque(map(setattr, nodes_list, repeat("_arb_sig"), repeat(None)),
+              maxlen=0)
+        for i, sig in zip(kept_pos, shrunk):
+            if sig is not None:
+                nodes_list[i]._arb_sig = sig
+        deque(map(self._arb_cache.pop, node_ids, repeat(None)), maxlen=0)
+        cols.free_cores[arr] += np.asarray(procs_list, dtype=np.int64)
+        cols.n_res[arr] -= 1
+        if partitioned:
+            cols.free_ways[arr] += ways
+            cols.parts[arr] -= 1
+        if resum:
+            # Dropping an exact-0.0 booking preserves every partial sum
+            # bitwise, so the columns only need re-summing when the
+            # removed slices actually booked something.
+            empt = arr[~kept]
+            if empt.size:
+                cols.booked_bw[empt] = 0.0
+                cols.bw_eps[empt] = (cols.peak_bw - 0.0) + 1e-9
+                cols.booked_net[empt] = 0.0
+                cols.net_eps[empt] = (1.0 - 0.0) + 1e-9
+            sh = arr[kept]
+            if sh.size:
+                booked_bw: List[float] = []
+                booked_net: List[float] = []
+                for i in kept_pos:
+                    residents = res_dicts[i]
+                    if len(residents) == 1:
+                        (r,) = residents.values()
+                        booked_bw.append(r.booked_bw)
+                        booked_net.append(r.booked_net)
+                    else:
+                        booked_bw.append(sum(
+                            r.booked_bw for r in residents.values()
+                        ))
+                        booked_net.append(sum(
+                            r.booked_net for r in residents.values()
+                        ))
+                cols.booked_bw[sh] = booked_bw
+                cols.bw_eps[sh] = (cols.peak_bw - cols.booked_bw[sh]) \
+                    + 1e-9
+                cols.booked_net[sh] = booked_net
+                cols.net_eps[sh] = (1.0 - cols.booked_net[sh]) + 1e-9
+        self._reindex_batch(node_ids, old_free, procs_list, +1)
+        self.release_epoch += 1
+
+    def _reindex_batch(self, node_ids: Sequence[int], old_free: List[int],
+                       procs_list: List[int], sign: int) -> None:
+        """Move a batch of nodes between free-core buckets after their
+        core columns changed by ``sign * procs``.
+
+        A uniform-process batch moves as one bulk group per source
+        bucket; mixed process counts fall back to per-node moves.  The
+        per-bucket membership *order* downstream scans observe is
+        identical either way: within each destination the nodes arrive
+        in batch order, exactly as per-node moves would insert them.
+        """
+        buckets = self._by_free_cores
+        arrays = self._bucket_arrays
+        if min(procs_list) == max(procs_list):
+            # Uniform process count (even split — the common shape for
+            # both exclusive and spread placements): nodes group by
+            # source bucket, and with one shared delta the old → new
+            # bucket map is injective, so no destination receives from
+            # two groups and no interleaving with per-node moves is
+            # observable.  Deletions never reorder a bucket's surviving
+            # members and insertions append in batch order, so each
+            # bucket's membership order — the only order downstream
+            # scans observe — matches the per-node loop exactly.
+            procs = procs_list[0]
+            if not procs:
+                return
+            delta = sign * procs
+            if min(old_free) == max(old_free):
+                groups: Iterable = ((old_free[0], node_ids),)
+            else:
+                by_old: Dict[int, list] = {}
+                for nid, old in zip(node_ids, old_free):
+                    members = by_old.get(old)
+                    if members is None:
+                        by_old[old] = [nid]
+                    else:
+                        members.append(nid)
+                groups = by_old.items()
+            for old, members in groups:
+                new = old + delta
+                try:
+                    bucket = buckets[old]
+                    deque(map(bucket.__delitem__, members), maxlen=0)
+                except KeyError:
+                    raise SimulationError("free-core index out of sync") \
+                        from None
+                if not bucket:
+                    del buckets[old]
+                new_bucket = buckets.get(new)
+                if new_bucket is None:
+                    buckets[new] = dict.fromkeys(members)
+                else:
+                    new_bucket.update(dict.fromkeys(members))
+                if arrays:
+                    arrays.pop(old, None)
+                    arrays.pop(new, None)
+            return
+        for i, nid in enumerate(node_ids):
+            procs = procs_list[i]
+            if not procs:
+                continue
+            old = old_free[i]
+            new = old + sign * procs
+            try:
+                bucket = buckets[old]
+                del bucket[nid]
+            except KeyError:
+                raise SimulationError("free-core index out of sync") \
+                    from None
+            if not bucket:
+                del buckets[old]
+            new_bucket = buckets.get(new)
+            if new_bucket is None:
+                buckets[new] = {nid: None}
+            else:
+                new_bucket[nid] = None
+            if arrays:
+                arrays.pop(old, None)
+                arrays.pop(new, None)
 
     # -- availability (fault injection, DESIGN.md §8) ---------------------------
 
@@ -227,52 +578,6 @@ class ClusterState:
         """Currently failed node ids (deterministic insertion order)."""
         return list(self._down)
 
-    def _flush_arrays(self) -> None:
-        dirty = self._dirty
-        if not dirty:
-            return
-        nodes = self.nodes
-        idx = np.fromiter(dirty, dtype=np.int64, count=len(dirty))
-        # One pass over the dirty nodes filling every column at once,
-        # reading node internals directly: five property descriptor calls
-        # per node dominated the flush on wide-job placements.
-        spec = self.spec.node
-        total_cores = spec.cores
-        peak_bw = spec.peak_bw
-        cores: List[int] = []
-        bw: List[float] = []
-        net: List[float] = []
-        booked: List[float] = []
-        if self.partitioned:
-            total_ways = spec.cache.total_ways
-            ways: List[int] = []
-            parts: List[int] = []
-            for i in dirty:
-                node = nodes[i]
-                cores.append(total_cores - node._used_cores)
-                booked_bw, booked_net = node._booked()
-                booked.append(booked_bw)
-                bw.append((peak_bw - booked_bw) + 1e-9)
-                net.append((1.0 - booked_net) + 1e-9)
-                ledger = node._ledger
-                ways.append(total_ways - ledger._allocated)
-                parts.append(len(ledger._alloc))
-            self._free_ways_a[idx] = ways
-            self._parts_a[idx] = parts
-        else:
-            for i in dirty:
-                node = nodes[i]
-                cores.append(total_cores - node._used_cores)
-                booked_bw, booked_net = node._booked()
-                booked.append(booked_bw)
-                bw.append((peak_bw - booked_bw) + 1e-9)
-                net.append((1.0 - booked_net) + 1e-9)
-        self._free_cores_a[idx] = cores
-        self._bw_eps_a[idx] = bw
-        self._net_eps_a[idx] = net
-        self._booked_bw_a[idx] = booked
-        dirty.clear()
-
     # -- queries -----------------------------------------------------------------
 
     def node(self, node_id: int) -> NodeState:
@@ -298,12 +603,12 @@ class ClusterState:
         """First ``limit`` node ids (scanned in the given order) that
         satisfy :meth:`NodeState.can_host` with these demands.
 
-        Vectorized over the capacity arrays; condition-for-condition
+        Vectorized over the capacity columns (the authoritative node
+        state — nothing to flush first); condition-for-condition
         identical to calling ``can_host`` per node.  When the caller
         scans a whole free-core bucket it passes the bucket key so the
         id array is reused until the bucket's membership changes.
         """
-        self._flush_arrays()
         arr = None
         if bucket is not None and self.ctx.enabled:
             arr = self._bucket_arrays.get(bucket)
@@ -315,23 +620,31 @@ class ClusterState:
         if arr.size == 0:
             return []
         self.counters["nodes_scanned"] += int(arr.size)
-        node = self.spec.node
+        cols = self.columns
         if self.partitioned and (
-            ways < node.cache.min_ways or ways > node.llc_ways
+            ways < cols.min_ways or ways > cols.llc_ways
         ):
             return []  # can_allocate() rejects on every node
+        # Zero-demand dimensions are foregone conclusions (the epsilon
+        # columns are strictly positive by construction), so their
+        # elementwise compares are skipped outright.
         if bucket is not None and bucket >= cores:
             # Bucket invariant: every member has exactly ``bucket`` free
             # cores, so the core comparison is a foregone conclusion.
-            ok = self._bw_eps_a[arr] >= bw
+            ok = None
         else:
-            ok = self._free_cores_a[arr] >= cores
-            ok &= self._bw_eps_a[arr] >= bw
+            ok = cols.free_cores[arr] >= cores
+        if bw > 0.0:
+            m = cols.bw_eps[arr] >= bw
+            ok = m if ok is None else ok & m
         if self.partitioned:
-            ok &= self._free_ways_a[arr] >= ways
-            ok &= self._parts_a[arr] < node.cache.max_partitions
-        ok &= self._net_eps_a[arr] >= net
-        hits = arr[ok]
+            m = cols.free_ways[arr] >= ways
+            ok = m if ok is None else ok & m
+            ok &= cols.parts[arr] < cols.max_partitions
+        if net > 0.0:
+            m = cols.net_eps[arr] >= net
+            ok = m if ok is None else ok & m
+        hits = arr if ok is None else arr[ok]
         if hits.size > limit:
             hits = hits[:limit]
         return hits.tolist()
@@ -344,13 +657,12 @@ class ClusterState:
         order as the scalar expression, and the used-core / allocated-way
         operands are exact integer complements of the columnar free
         counts."""
-        self._flush_arrays()
-        node = self.spec.node
+        cols = self.columns
         arr = np.fromiter(ids, dtype=np.int64, count=len(ids))
-        co = (node.cores - self._free_cores_a[arr]) / node.cores
-        bo = np.minimum(1.0, self._booked_bw_a[arr] / node.peak_bw)
+        co = (cols.cores - cols.free_cores[arr]) / cols.cores
+        bo = np.minimum(1.0, cols.booked_bw[arr] / cols.peak_bw)
         if self.partitioned:
-            wo = (node.llc_ways - self._free_ways_a[arr]) / node.llc_ways
+            wo = (cols.llc_ways - cols.free_ways[arr]) / cols.llc_ways
             metric = co + bo + beta * wo
         else:
             # Unpartitioned ledgers never allocate ways: Wo is 0.0 and
@@ -447,6 +759,13 @@ class ClusterState:
         # slices of one wide job) receive the *same* view tuple, so
         # downstream per-node loops can dedupe work on view identity.
         packed: Dict[tuple, ArbitrationView] = {}
+        # Cohort fast path: nodes placed in one place_slices batch share
+        # their signature *object* (key, jids, and programs together), so
+        # after the first sibling resolves, the rest collapse to a single
+        # id() lookup — no re-hash of the key tuple, no program-identity
+        # re-check.  Signature objects are pinned by the nodes' _arb_sig
+        # refs for the duration of the call, so ids cannot be recycled.
+        by_key_id: Dict[int, ArbitrationView] = {}
         for nid in node_ids:
             requests += 1
             view = arb_cache.get(nid)
@@ -459,6 +778,14 @@ class ClusterState:
                 views[nid] = arb_cache[nid] = ((), (), 0.0, ())
                 continue
             key, jids, programs = node.arb_signature()
+            full = by_key_id.get(id(key))
+            if full is not None:
+                if full is _AWAITING_SOLVE:
+                    pending.append((nid, key, jids))
+                else:
+                    view_hits += 1
+                    views[nid] = arb_cache[nid] = full
+                continue
             entry = view_cache.get(key)
             if entry is not None and all(
                 p is q for p, q in zip(entry[0], programs)
@@ -470,8 +797,10 @@ class ClusterState:
                     full = (jids, entry[1], entry[2], entry[3])
                     packed[pk] = full
                 views[nid] = arb_cache[nid] = full
+                by_key_id[id(key)] = full
                 continue
             pending.append((nid, key, jids))
+            by_key_id[id(key)] = _AWAITING_SOLVE
             if key not in solve_keys:
                 solve_keys[key] = len(solve_nodes)
                 solve_nodes.append(nid)
@@ -497,14 +826,107 @@ class ClusterState:
                 view_cache.clear()
             view_cache.update(fresh)
             for nid, key, jids in pending:
-                entry = fresh[key]
-                pk = (id(entry), jids)
-                full = packed.get(pk)
-                if full is None:
-                    full = (jids, entry[1], entry[2], entry[3])
-                    packed[pk] = full
+                full = by_key_id[id(key)]
+                if full is _AWAITING_SOLVE:
+                    entry = fresh[key]
+                    pk = (id(entry), jids)
+                    full = packed.get(pk)
+                    if full is None:
+                        full = (jids, entry[1], entry[2], entry[3])
+                        packed[pk] = full
+                    by_key_id[id(key)] = full
                 views[nid] = arb_cache[nid] = full
         return views
+
+    def solo_conditions(
+        self, job_id: int, program, placement
+    ) -> Optional[Dict[tuple, int]]:
+        """Condition-key counts for a job that is the **sole resident**
+        of every node it occupies, computed once per distinct process
+        count with no per-node view materialization; ``None`` when any
+        of its nodes hosts a co-runner.
+
+        A sole resident's arbitration inputs are fully determined by its
+        own slice (all residual ways, no bandwidth competition), so the
+        whole placement collapses to at most two solver calls (an even
+        split has at most two process counts) through the same batched
+        kernel — and usually zero, because the signature-keyed view
+        cache already holds the result from an earlier job of the same
+        shape.  The returned dict maps the runtime's condition key
+        ``(procs, effective_ways, grant, net_load)`` to its node count,
+        bit-identical to deriving the key per node from
+        :meth:`arbitration_batch` views.
+        """
+        node_ids = placement.node_ids
+        arr = np.fromiter(node_ids, dtype=np.int64, count=len(node_ids))
+        if not bool((self.columns.n_res[arr] == 1).all()):
+            return None
+        key_counts: Dict[tuple, int] = {}
+        for procs, count in Counter(
+            placement.procs_per_node.values()
+        ).items():
+            key_counts[
+                self.solo_condition_key(job_id, program, placement, procs)
+            ] = count
+        return key_counts
+
+    def solo_condition_key(
+        self, job_id: int, program, placement, procs: int
+    ) -> tuple:
+        """Runtime condition key ``(procs, effective_ways, grant,
+        net_load)`` for the job as the **sole resident** of a node
+        carrying ``procs`` of its processes — view-cache backed, no
+        per-node view materialization.
+
+        A sole resident's arbitration inputs are fully determined by its
+        own slice (all residual ways, no bandwidth competition), so the
+        key collapses to one view-cache lookup under the same signature
+        key single-resident nodes produce — and on a miss, one solve
+        through the same batched kernel, bit-identical to deriving the
+        key from an :meth:`arbitration_batch` view.
+        """
+        spec = self.spec.node
+        partitioned = self.partitioned
+        ways = placement.dedicated_ways
+        bw = placement.booked_bw
+        n_nodes = len(placement.node_ids)
+        key = (
+            ((id(program), procs, n_nodes,
+              ways if partitioned else 0,
+              bw if self.enforce_bw else -1.0),),
+            spec.llc_ways - ways if partitioned else procs,
+        )
+        view_cache = self._view_cache
+        entry = view_cache.get(key)
+        if entry is not None and entry[0][0] is program:
+            self.counters["view_cache_hits"] += 1
+            return (procs, entry[3][0], entry[1][0], entry[2])
+        # Same expressions as NodeState.effective_ways for a sole
+        # resident (len(_alloc) == 1 / used_cores == procs).
+        if partitioned:
+            if self.share_residual:
+                eff = ways + (spec.llc_ways - ways) / 1
+            else:
+                eff = float(ways)
+        else:
+            eff = spec.llc_ways * (procs / procs)
+        slc = Slice(
+            job_id=job_id,
+            program=program,
+            procs=procs,
+            effective_ways=eff,
+            n_nodes=n_nodes,
+            bw_cap=bw if self.enforce_bw and bw > 0 else None,
+        )
+        grants, net_load = batch.arbitrate_nodes(
+            self.ctx, spec, [[slc]]
+        )[0]
+        grant = grants[job_id]
+        self.counters["arb_nodes_solved"] += 1
+        if len(view_cache) >= self.ctx.max_entries:
+            view_cache.clear()
+        view_cache[key] = ((program,), (grant,), net_load, (eff,))
+        return (procs, eff, grant, net_load)
 
     def _arbitrate(self, node_id: int) -> ArbitrationView:
         node = self.nodes[node_id]
@@ -556,6 +978,61 @@ class ClusterState:
                 "free-core index does not cover all up nodes"
             )
 
+    def verify_columns(self) -> None:
+        """Check every SoA column slot against values recomputed from
+        the per-node resident bookkeeping — *exact* equality, including
+        the float bookings (the columns are contractually bit-identical
+        to a left-to-right re-sum in resident insertion order).  Test /
+        defensive-assertion hook, like :meth:`verify_index`."""
+        cols = self.columns
+        spec = self.spec.node
+        for node in self.nodes:
+            nid = node.node_id
+            residents = node._residents
+            used = sum(r.procs for r in residents.values())
+            if int(cols.free_cores[nid]) != spec.cores - used:
+                raise SimulationError(
+                    f"node {nid}: free_cores column "
+                    f"{int(cols.free_cores[nid])} != {spec.cores - used}"
+                )
+            allocated = sum(node._alloc.values())
+            if int(cols.free_ways[nid]) != spec.llc_ways - allocated:
+                raise SimulationError(
+                    f"node {nid}: free_ways column "
+                    f"{int(cols.free_ways[nid])} != "
+                    f"{spec.llc_ways - allocated}"
+                )
+            if int(cols.parts[nid]) != len(node._alloc):
+                raise SimulationError(
+                    f"node {nid}: parts column {int(cols.parts[nid])} "
+                    f"!= {len(node._alloc)}"
+                )
+            if int(cols.n_res[nid]) != len(residents):
+                raise SimulationError(
+                    f"node {nid}: n_res column {int(cols.n_res[nid])} "
+                    f"!= {len(residents)}"
+                )
+            booked_bw = sum(r.booked_bw for r in residents.values())
+            booked_net = sum(r.booked_net for r in residents.values())
+            if float(cols.booked_bw[nid]) != booked_bw:
+                raise SimulationError(
+                    f"node {nid}: booked_bw column "
+                    f"{float(cols.booked_bw[nid])!r} != {booked_bw!r}"
+                )
+            if float(cols.booked_net[nid]) != booked_net:
+                raise SimulationError(
+                    f"node {nid}: booked_net column "
+                    f"{float(cols.booked_net[nid])!r} != {booked_net!r}"
+                )
+            if float(cols.bw_eps[nid]) != (spec.peak_bw - booked_bw) + 1e-9:
+                raise SimulationError(
+                    f"node {nid}: bw_eps column out of sync"
+                )
+            if float(cols.net_eps[nid]) != (1.0 - booked_net) + 1e-9:
+                raise SimulationError(
+                    f"node {nid}: net_eps column out of sync"
+                )
+
     def gauge_columns(self) -> np.ndarray:
         """Live per-node gauge matrix: rows are
         :data:`repro.obs.timeseries.CHANNELS` (free cores, booked GB/s,
@@ -569,13 +1046,13 @@ class ClusterState:
         is identically zero for CE/CS — matching the way-capacity law in
         :mod:`repro.obs.invariants`.
         """
-        self._flush_arrays()
+        cols = self.columns
         n = len(self.nodes)
         gauges = np.empty((4, n), dtype=np.float64)
-        gauges[0] = self._free_cores_a
-        gauges[1] = self._booked_bw_a
+        gauges[0] = cols.free_cores
+        gauges[1] = cols.booked_bw
         if self.partitioned:
-            gauges[2] = self.spec.node.llc_ways - self._free_ways_a
+            gauges[2] = cols.llc_ways - cols.free_ways
         else:
             gauges[2] = 0.0
         gauges[3] = np.fromiter(
@@ -592,4 +1069,23 @@ class ClusterState:
         nodes = self.nodes
         for nid in node_ids:
             out.update(nodes[nid]._residents)
+        return out
+
+    def shared_resident_jobs(self, node_ids: Sequence[int]) -> Set[int]:
+        """Job ids resident on those of the given nodes that host **more
+        than one** resident.  The resident-count column prunes the scan,
+        so a fully exclusive placement walks zero Python dicts.
+
+        This is the co-runner discovery set of the runtime's settle
+        paths: a node with a single resident has nobody whose speed the
+        triggering job's own event could change (the sole resident *is*
+        the triggering job on every settle call site).
+        """
+        arr = np.fromiter(node_ids, dtype=np.int64, count=len(node_ids))
+        multi = arr[self.columns.n_res[arr] > 1]
+        out: Set[int] = set()
+        if multi.size:
+            nodes = self.nodes
+            for nid in multi.tolist():
+                out.update(nodes[nid]._residents)
         return out

@@ -12,7 +12,7 @@ import enum
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Tuple
 
 from repro.errors import SimulationError
 
@@ -104,6 +104,21 @@ class EventQueue:
         """Invalidate any queued finish event for ``job_id``."""
         self._versions[job_id] = self._versions.get(job_id, 0) + 1
 
+    def retire(self, job_id: int) -> None:
+        """Forget a *terminal* job's version counter, bounding
+        ``_versions`` to the live-job set (it used to grow one entry per
+        job forever — a real cost on the full-Trinity trace and future
+        streaming workloads).  Any of the job's finish events still in
+        the heap read as stale against the missing entry (``None`` never
+        equals an event version), exactly like a cancellation.
+
+        Only safe once the job can never be re-pushed: a retired id that
+        ran again would restart versioning at 1 and could collide with a
+        stale heap entry from the earlier attempt.  Evicted-but-retrying
+        jobs therefore keep their entry (:meth:`cancel_finish`).
+        """
+        self._versions.pop(job_id, None)
+
     def pop(self) -> Optional[Event]:
         """Next live event, advancing the clock; ``None`` when drained."""
         while self._heap:
@@ -143,6 +158,37 @@ class EventQueue:
             self._now = max(self._now, ev.time)
             return ev
         return None
+
+    def pop_finish_at(self, time: float, exclude) -> Tuple[Optional[Event], bool]:
+        """Drain one live ``JOB_FINISH`` at exactly ``time`` whose job is
+        not in ``exclude``, or report why none was drained.
+
+        Returns ``(event, False)`` on a drained finish, ``(None, False)``
+        when the head is not a finish at ``time`` (the caller may go on
+        to drain submits), and ``(None, True)`` — *blocked* — when the
+        head IS a live finish at ``time`` but its job is in ``exclude``.
+
+        The exclude set is the batch's affected-job set: a finish for a
+        job already touched this batch must be re-judged after the
+        batch's refresh re-versions it (lazy cancellation), so it cannot
+        be folded in.  The blocked signal matters for ordering: the
+        caller must end the batch rather than drain same-time submits,
+        because on the unbatched path the (re-pushed) finish — kind 0 —
+        pops before any submit — kind 5.
+        """
+        while self._heap:
+            ev = self._heap[0]
+            if ev.kind is not EventKind.JOB_FINISH or ev.time != time:
+                return None, False
+            if self._versions.get(ev.job_id) != ev.version:
+                heapq.heappop(self._heap)
+                continue  # stale finish: discard and keep looking
+            if ev.job_id in exclude:
+                return None, True
+            heapq.heappop(self._heap)
+            self._now = max(self._now, ev.time)
+            return ev, False
+        return None, False
 
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event without popping it."""

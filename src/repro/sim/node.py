@@ -1,21 +1,39 @@
 """Runtime state of one compute node.
 
-Tracks free cores, the CAT way ledger, booked bandwidth, and the set of
+Tracks free cores, CAT way allocations, booked bandwidth, and the set of
 resident job slices.  A node can run in *partitioned* mode (SNS: each job
 has dedicated ways; residual ways shared equally) or *unpartitioned* mode
 (CE/CS: no CAT actuation — the LLC is a free-for-all and capacity divides
 in proportion to each job's process count, which models the steady state
 of an unmanaged shared cache under equal per-core pressure).
+
+The *hot* per-node quantities — free cores, free ways, partition count,
+booked bandwidth/network and the scan-ready epsilon complements — live in
+:class:`NodeColumns`, a struct-of-arrays pool shared by every node of a
+cluster.  The columns are the **source of truth** (DESIGN.md §7): a
+:class:`NodeState` is a thin view over its column slot, and the cluster's
+vectorized paths (``scan_hosts``, ``pick_idlest``, batched place/remove)
+read and write the contiguous arrays directly — there is no per-node
+shadow copy and no dirty-flush step.  Cold bookkeeping that does not
+vectorize (the resident map, dedicated-way allocations, arbitration
+signatures) stays on the ``NodeState`` object.
+
+Float discipline (bit-identity with re-summed bookkeeping, enforced by
+``tests/test_soa_columns.py``): booked bandwidth/network columns are
+*added to* on placement — extending a left-to-right Python ``sum()`` by
+one term is the same single IEEE addition — and *re-summed over the
+remaining residents in insertion order* on removal, because float
+subtraction does not invert addition.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
 
 from repro.apps.program import ProgramSpec
 from repro.errors import AllocationError
-from repro.hardware.cache import WayLedger
 from repro.hardware.node_spec import NodeSpec
 from repro.perfmodel.contention import Slice
 
@@ -30,82 +48,111 @@ class _Resident(NamedTuple):
     booked_net: float = 0.0  # booked link-utilization fraction
 
 
-@dataclass(slots=True)
+class NodeColumns:
+    """Struct-of-arrays hot state for a pool of nodes.
+
+    One slot per node; every array is the authoritative value (no
+    mirror to flush).  The float columns keep both the booked totals and
+    the *epsilon complements* — free capacity plus ``can_host``'s 1e-9
+    comparison slack — so capacity scans compare raw demands against a
+    contiguous array without a per-scan vector add.  Spec-derived
+    constants are denormalized here so batched mutation paths never walk
+    property chains.
+    """
+
+    __slots__ = (
+        "spec", "cores", "llc_ways", "peak_bw", "min_ways",
+        "max_partitions", "free_cores", "free_ways", "parts", "n_res",
+        "booked_bw", "booked_net", "bw_eps", "net_eps",
+    )
+
+    def __init__(self, n: int, spec: NodeSpec) -> None:
+        self.spec = spec
+        self.cores = spec.cores
+        self.llc_ways = spec.llc_ways
+        self.peak_bw = spec.peak_bw
+        self.min_ways = spec.cache.min_ways
+        self.max_partitions = spec.cache.max_partitions
+        self.free_cores = np.full(n, spec.cores, dtype=np.int64)
+        self.free_ways = np.full(n, spec.llc_ways, dtype=np.int64)
+        self.parts = np.zeros(n, dtype=np.int64)
+        self.n_res = np.zeros(n, dtype=np.int64)
+        self.booked_bw = np.zeros(n, dtype=np.float64)
+        self.booked_net = np.zeros(n, dtype=np.float64)
+        self.bw_eps = np.full(n, spec.peak_bw + 1e-9, dtype=np.float64)
+        self.net_eps = np.full(n, 1.0 + 1e-9, dtype=np.float64)
+
+    def __len__(self) -> int:
+        return len(self.free_cores)
+
+
 class NodeState:
-    """Mutable per-node bookkeeping.
+    """Mutable per-node bookkeeping: a view over one column slot.
 
     ``enforce_bw`` models Intel-MBA-style hard bandwidth partitioning:
     a resident job's DRAM draw is clipped to its booking.  The paper's
     testbed lacked MBA (Section 4.4), so the default is estimation-only.
     ``share_residual`` controls the residual-way giveaway of Section 4.4;
     disabling it is an ablation knob.
+
+    A cluster-owned node shares its :class:`ClusterState`'s column pool
+    (``slot`` = node id); a standalone node (unit tests, ad-hoc use)
+    builds a private single-slot pool.
     """
 
-    node_id: int
-    spec: NodeSpec
-    partitioned: bool = True
-    enforce_bw: bool = False
-    share_residual: bool = True
-    _residents: Dict[int, _Resident] = field(default_factory=dict)
-    _ledger: WayLedger = field(init=False)
-    # Incremental capacity accounting: these sit on the scheduler's
-    # per-candidate fast path (can_host / occupancy_metric), where
-    # re-summing the resident map per query dominated 32K-node replays.
-    # Core counts are integers and kept as a running total; the float
-    # bookings are recomputed lazily on the same resident order as the
-    # original sums so cached values are bit-identical to re-summing.
-    _used_cores: int = field(default=0, init=False)
-    _booked_totals: Optional[Tuple[float, float]] = field(
-        default=None, init=False
+    __slots__ = (
+        "node_id", "spec", "partitioned", "enforce_bw", "share_residual",
+        "columns", "_slot", "_residents", "_alloc", "_arb_sig",
     )
-    # Arbitration-signature state (see arb_signature).  The per-resident
-    # item tuples never change after placement, so they are maintained
-    # incrementally on place/remove (parallel to the resident order)
-    # instead of being rebuilt on every signature query — signature
-    # reconstruction was the single hottest path of large-cluster
-    # refreshes.  The assembled signature tuple itself is still cached
-    # lazily and dropped on mutation.
-    _sig_items: List[tuple] = field(default_factory=list, init=False)
-    _sig_jobs: List[int] = field(default_factory=list, init=False)
-    _sig_programs: List[ProgramSpec] = field(default_factory=list, init=False)
-    _arb_sig: Optional[tuple] = field(default=None, init=False)
 
-    def __post_init__(self) -> None:
-        self._ledger = WayLedger(self.spec.cache)
+    def __init__(self, node_id: int, spec: NodeSpec,
+                 partitioned: bool = True, enforce_bw: bool = False,
+                 share_residual: bool = True,
+                 columns: Optional[NodeColumns] = None,
+                 slot: Optional[int] = None) -> None:
+        self.node_id = node_id
+        self.spec = spec
+        self.partitioned = partitioned
+        self.enforce_bw = enforce_bw
+        self.share_residual = share_residual
+        if columns is None:
+            columns = NodeColumns(1, spec)
+            slot = 0
+        self.columns = columns
+        self._slot = node_id if slot is None else slot
+        self._residents: Dict[int, _Resident] = {}
+        #: Dedicated (CAT) ways per resident job, insertion-ordered.
+        self._alloc: Dict[int, int] = {}
+        # Cached arbitration signature (see arb_signature), dropped on
+        # place/remove and rebuilt lazily from the resident map.  Cohort
+        # placement (ClusterState.place_slices) installs a shared
+        # pre-assembled signature on previously-empty nodes instead, so
+        # hot-path nodes never pay the rebuild.
+        self._arb_sig: Optional[tuple] = None
 
     # -- capacity queries ----------------------------------------------------
 
     @property
     def used_cores(self) -> int:
-        return self._used_cores
+        return self.spec.cores - int(self.columns.free_cores[self._slot])
 
     @property
     def free_cores(self) -> int:
-        return self.spec.cores - self._used_cores
+        return int(self.columns.free_cores[self._slot])
 
     @property
     def free_ways(self) -> int:
-        return self._ledger.free_ways
+        return int(self.columns.free_ways[self._slot])
 
     @property
     def cat_partitions(self) -> int:
         """Number of active CAT partitions on this node."""
-        return self._ledger.partition_count
-
-    def _booked(self) -> Tuple[float, float]:
-        totals = self._booked_totals
-        if totals is None:
-            totals = (
-                sum(r.booked_bw for r in self._residents.values()),
-                sum(r.booked_net for r in self._residents.values()),
-            )
-            self._booked_totals = totals
-        return totals
+        return len(self._alloc)
 
     @property
     def booked_bw(self) -> float:
         """Total bandwidth (GB/s) booked by the scheduler on this node."""
-        return self._booked()[0]
+        return float(self.columns.booked_bw[self._slot])
 
     @property
     def free_bw(self) -> float:
@@ -115,7 +162,7 @@ class NodeState:
     def booked_net(self) -> float:
         """Total booked link-utilization fraction (network dimension,
         the paper's Section 3.3 extension)."""
-        return self._booked()[1]
+        return float(self.columns.booked_net[self._slot])
 
     @property
     def free_net(self) -> float:
@@ -132,10 +179,12 @@ class NodeState:
     def occupancy_metric(self, beta: float) -> float:
         """The paper's node-selection metric ``Co + Bo + beta * Wo``
         (occupied fractions of cores, bandwidth, and LLC ways)."""
+        cols = self.columns
+        slot = self._slot
         spec = self.spec
-        co = self._used_cores / spec.cores
-        bo = min(1.0, self._booked()[0] / spec.peak_bw)
-        wo = self._ledger._allocated / spec.llc_ways
+        co = (spec.cores - int(cols.free_cores[slot])) / spec.cores
+        bo = min(1.0, float(cols.booked_bw[slot]) / spec.peak_bw)
+        wo = (spec.llc_ways - int(cols.free_ways[slot])) / spec.llc_ways
         return co + bo + beta * wo
 
     # -- allocation ----------------------------------------------------------
@@ -144,15 +193,46 @@ class NodeState:
                  net: float = 0.0) -> bool:
         """Whether a new slice (``procs`` cores, ``ways`` dedicated ways,
         ``bw`` GB/s and ``net`` link fraction booked) fits right now."""
-        if procs > self.free_cores:
+        cols = self.columns
+        slot = self._slot
+        if procs > cols.free_cores[slot]:
             return False
-        if self.partitioned and not self._ledger.can_allocate(ways):
+        if self.partitioned and (
+            ways < cols.min_ways
+            or len(self._alloc) >= cols.max_partitions
+            or ways > cols.free_ways[slot]
+        ):
             return False
-        if bw > self.free_bw + 1e-9:
+        if bw > cols.bw_eps[slot]:
             return False
-        if net > self.free_net + 1e-9:
+        if net > cols.net_eps[slot]:
             return False
         return True
+
+    def _allocate_ways(self, job_id: int, ways: int) -> None:
+        """Dedicate ``ways`` CAT ways to ``job_id`` (partitioned mode).
+        Same validation and error text as the historical per-node
+        ``WayLedger``; callers must update the way/partition columns."""
+        alloc = self._alloc
+        if job_id in alloc:
+            raise AllocationError(f"job {job_id} already has a way allocation")
+        cols = self.columns
+        if ways < cols.min_ways:
+            raise AllocationError(
+                f"job {job_id} requested {ways} ways; minimum is "
+                f"{cols.min_ways} (associativity floor)"
+            )
+        if len(alloc) >= cols.max_partitions:
+            raise AllocationError(
+                f"node already has {len(alloc)} CAT partitions "
+                f"(max {cols.max_partitions})"
+            )
+        free = int(cols.free_ways[self._slot])
+        if ways > free:
+            raise AllocationError(
+                f"job {job_id} requested {ways} ways; only {free} free"
+            )
+        alloc[job_id] = ways
 
     def place(self, job_id: int, program: ProgramSpec, procs: int,
               ways: int, bw: float, n_nodes: int,
@@ -161,48 +241,63 @@ class NodeState:
         residents = self._residents
         if job_id in residents:
             raise AllocationError(f"job {job_id} already on node {self.node_id}")
-        if procs > self.spec.cores - self._used_cores:
+        cols = self.columns
+        slot = self._slot
+        free = int(cols.free_cores[slot])
+        if procs > free:
             raise AllocationError(
-                f"node {self.node_id} has {self.free_cores} free cores; "
+                f"node {self.node_id} has {free} free cores; "
                 f"{procs} requested"
             )
         if net < 0:
             raise AllocationError("network booking must be non-negative")
         if self.partitioned:
-            self._ledger.allocate(job_id, ways)
+            self._allocate_ways(job_id, ways)
+            cols.free_ways[slot] -= ways
+            cols.parts[slot] += 1
         residents[job_id] = _Resident(program, procs, n_nodes, bw, net)
-        self._used_cores += procs
-        self._booked_totals = None
-        # Same item tuple arb_signature() used to rebuild per query: the
-        # dedicated ways equal the allocation just made and the booked
-        # bandwidth equals the booking argument.
-        self._sig_items.append((
-            id(program), procs, n_nodes,
-            ways if self.partitioned else 0,
-            bw if self.enforce_bw else -1.0,
-        ))
-        self._sig_jobs.append(job_id)
-        self._sig_programs.append(program)
+        cols.free_cores[slot] = free - procs
+        cols.n_res[slot] += 1
+        # Booked totals grow by one left-to-right addition (exact); the
+        # epsilon complements are recomputed with the same operation
+        # order as the scalar can_host expression.
+        if bw != 0.0:
+            cols.booked_bw[slot] += bw
+            cols.bw_eps[slot] = (cols.peak_bw - cols.booked_bw[slot]) + 1e-9
+        if net != 0.0:
+            cols.booked_net[slot] += net
+            cols.net_eps[slot] = (1.0 - cols.booked_net[slot]) + 1e-9
         self._arb_sig = None
 
     def remove(self, job_id: int) -> None:
         """Remove a job slice (on completion)."""
         residents = self._residents
         try:
-            procs = residents.pop(job_id).procs
+            resident = residents.pop(job_id)
         except KeyError:
             raise AllocationError(
                 f"job {job_id} not on node {self.node_id}"
             ) from None
+        cols = self.columns
+        slot = self._slot
         if self.partitioned:
-            self._ledger.release(job_id)
-        self._used_cores -= procs
-        sig_jobs = self._sig_jobs
-        index = sig_jobs.index(job_id)
-        del self._sig_items[index]
-        del sig_jobs[index]
-        del self._sig_programs[index]
-        self._booked_totals = None
+            cols.free_ways[slot] += self._alloc.pop(job_id)
+            cols.parts[slot] -= 1
+        cols.free_cores[slot] += resident.procs
+        cols.n_res[slot] -= 1
+        # Float bookings cannot be subtracted back out exactly: re-sum
+        # the remaining residents in insertion order (same order the
+        # totals were accumulated in).
+        if resident.booked_bw != 0.0:
+            cols.booked_bw[slot] = sum(
+                r.booked_bw for r in residents.values()
+            )
+            cols.bw_eps[slot] = (cols.peak_bw - cols.booked_bw[slot]) + 1e-9
+        if resident.booked_net != 0.0:
+            cols.booked_net[slot] = sum(
+                r.booked_net for r in residents.values()
+            )
+            cols.net_eps[slot] = (1.0 - cols.booked_net[slot]) + 1e-9
         self._arb_sig = None
 
     # -- performance-model views ----------------------------------------------
@@ -217,9 +312,11 @@ class NodeState:
         if job_id not in self._residents:
             raise AllocationError(f"job {job_id} not on node {self.node_id}")
         if self.partitioned:
+            dedicated = self._alloc[job_id]
             if not self.share_residual:
-                return float(self._ledger.dedicated(job_id))
-            return self._ledger.effective_ways(job_id)
+                return float(dedicated)
+            bonus = int(self.columns.free_ways[self._slot]) / len(self._alloc)
+            return dedicated + bonus
         total = self.used_cores
         share = self._residents[job_id].procs / total
         return self.spec.llc_ways * share
@@ -234,21 +331,35 @@ class NodeState:
         fully determines every slice's ``effective_ways``, ``bw_cap``,
         and demand — so two nodes with equal keys get bit-identical
         arbitration results.  Program identity is validated by the
-        caller against the returned ``programs`` refs (same stale-id
-        defence as :mod:`repro.perfmodel.memo`).  The tuple is cached
-        until place/remove invalidates it.
+        caller against the returned ``programs`` refs (stale-id
+        defence).  The tuple is cached until place/remove invalidates
+        it.
         """
         sig = self._arb_sig
         if sig is None:
+            cols = self.columns
+            slot = self._slot
+            residents = self._residents
+            partitioned = self.partitioned
+            enforce_bw = self.enforce_bw
+            alloc = self._alloc
+            items = tuple([
+                (
+                    id(r.program), r.procs, r.n_nodes,
+                    alloc[jid] if partitioned else 0,
+                    r.booked_bw if enforce_bw else -1.0,
+                )
+                for jid, r in residents.items()
+            ])
             key = (
-                tuple(self._sig_items),
-                self._ledger.free_ways if self.partitioned
-                else self._used_cores,
+                items,
+                int(cols.free_ways[slot]) if partitioned
+                else self.spec.cores - int(cols.free_cores[slot]),
             )
             sig = (
                 key,
-                tuple(self._sig_jobs),
-                tuple(self._sig_programs),
+                tuple(residents),
+                tuple([r.program for r in residents.values()]),
             )
             self._arb_sig = sig
         return sig
@@ -275,4 +386,4 @@ class NodeState:
         """Dedicated (CAT-partitioned) ways of a resident job."""
         if not self.partitioned:
             return 0
-        return self._ledger.dedicated(job_id)
+        return self._alloc.get(job_id, 0)

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Protocol, Sequence, Set
 
+import numpy as np
+
 from repro.config import RetryPolicy, SchedulerConfig, SimConfig
 from repro.errors import HardwareModelError, SimulationError
 from repro.faults.plan import FaultPlan
@@ -300,15 +302,17 @@ class Simulation:
     def run(self) -> SimulationResult:
         """Execute to completion and return the result.
 
-        Events at an identical timestamp (trace submit bursts) are
-        drained into one batch: each event still gets its own scheduling
-        point (intermediate cluster occupancy matters to placement and
-        aging), but settling, speed refresh, telemetry, and the liveness
-        check run once per batch instead of once per event.  Only
-        *submit* events coalesce behind the leading event — finish
-        events always pop through the lazily-cancelling queue so a
-        deferred refresh can never resurrect a stale finish.  The
-        coalesced and per-event loops are bit-identical; with
+        Events at an identical timestamp (trace submit bursts, finish
+        storms) are drained into one batch: each event still gets its
+        own scheduling point (intermediate cluster occupancy matters to
+        placement and aging), but settling, speed refresh, telemetry,
+        and the liveness check run once per batch instead of once per
+        event.  Submits coalesce freely; a *finish* coalesces only while
+        its job is untouched by the batch so far — the lazily-cancelling
+        queue judges staleness against pre-batch versions, and a batch
+        member's finish must wait for the batch's refresh to re-version
+        it (see :meth:`EventQueue.pop_finish_at`).  The coalesced and
+        per-event loops are bit-identical; with
         ``SimConfig(perf_caches=False)`` the per-event reference loop
         runs.
         """
@@ -339,18 +343,10 @@ class Simulation:
             if now > self.config.max_sim_time:
                 raise SimulationError("simulation exceeded max_sim_time")
             events = [event]
-            if coalesce:
-                while True:
-                    nxt = self.events.pop_submit_at(now)
-                    if nxt is None:
-                        break
-                    events.append(nxt)
-            self._events_processed += len(events)
-            self._counters["event_batches"] += 1
-            self._counters["events_coalesced"] += len(events) - 1
             affected: Set[int] = set()
             touched: Set[int] = set()
-            for ev in events:
+            ev = event
+            while True:
                 if ev.kind is EventKind.JOB_SUBMIT:
                     job = self.jobs[ev.job_id]
                     if tracer is not None:
@@ -373,6 +369,28 @@ class Simulation:
                             now, ev.kind is EventKind.PROFILE_UP
                         )
                 self._scheduling_point(now, affected, touched)
+                if not coalesce:
+                    break
+                # Finishes drain first (EventKind.JOB_FINISH orders ahead
+                # of every other kind at equal timestamps), but only for
+                # jobs this batch has not touched: an affected job's
+                # finish must be re-judged after the batch's refresh
+                # re-versions it.  If such a finish heads the queue the
+                # batch ENDS — falling through to the submit drain would
+                # process submits the unbatched loop orders *after* the
+                # re-pushed finish.
+                nxt, blocked = self.events.pop_finish_at(now, affected)
+                if nxt is None:
+                    if blocked:
+                        break
+                    nxt = self.events.pop_submit_at(now)
+                    if nxt is None:
+                        break
+                events.append(nxt)
+                ev = nxt
+            self._events_processed += len(events)
+            self._counters["event_batches"] += 1
+            self._counters["events_coalesced"] += len(events) - 1
             if trace_full:
                 tracer.batch(now, [e.kind.label for e in events])
             self._refresh(affected, touched, now)
@@ -427,18 +445,23 @@ class Simulation:
             )
         placement = job.placement
         assert placement is not None
-        nodes = set(placement.node_ids)
-        residents = self._settle_residents(nodes, now)
+        # The job itself was settled above, and it is the sole resident
+        # of any node it occupies alone — only *shared* nodes can hold
+        # co-runners that need settling (a columns-driven prune).
+        residents = self._settle_shared(placement.node_ids, now)
         residents.discard(job.job_id)
-        for nid in placement.node_ids:
-            self.cluster.remove(nid, job.job_id)
+        self.cluster.remove_slices(placement.node_ids, job.job_id)
         job.complete(now)
+        # The job is terminal: its finish-event version entry can never
+        # be consulted again (any heap leftovers read as stale against a
+        # missing entry), so drop it to bound _versions memory.
+        self.events.retire(job.job_id)
         if self.tracer is not None:
             self.tracer.finish(now, job, placement.n_nodes)
         self._job_conds.pop(job.job_id, None)
         self._running -= 1
         self._terminal += 1
-        touched.update(nodes)
+        touched.update(placement.node_ids)
         affected.update(residents)
         affected.discard(job.job_id)
         # Completion hook: lets policies piggyback profiling on finished
@@ -471,8 +494,7 @@ class Simulation:
         assert placement is not None
         nodes = set(placement.node_ids)
         residents = self._settle_residents(nodes, now)
-        for nid in placement.node_ids:
-            self.cluster.remove(nid, job.job_id)
+        self.cluster.remove_slices(placement.node_ids, job.job_id)
         self.events.cancel_finish(job.job_id)
         tracer = self.tracer
         lost_before = job.lost_node_seconds if tracer is not None else 0.0
@@ -492,6 +514,10 @@ class Simulation:
         else:
             requeue_at = None
             job.mark_failed(now)
+            # Terminal (retry budget exhausted): the version entry is
+            # dead weight — drop it (see _finish_job).  Retried jobs
+            # keep theirs so their version counter stays monotone.
+            self.events.retire(job.job_id)
             self._counters["jobs_failed"] += 1
             self._terminal += 1
         if tracer is not None:
@@ -543,7 +569,7 @@ class Simulation:
         # (The policy already mutated the cluster, but allocations do not
         # advance time, so settling at `now` is still exact — as is
         # re-settling a job another event of this batch already settled.)
-        affected.update(self._settle_residents(new_nodes, now))
+        affected.update(self._settle_shared(new_nodes, now))
         touched.update(new_nodes)
         if tracer is not None:
             # The policy installed every decision's slices before this
@@ -597,6 +623,29 @@ class Simulation:
             if job.state is JobState.RUNNING:
                 job.settle_progress(now)
         return set(affected)
+
+    def _settle_shared(self, node_ids, now: float) -> Set[int]:
+        """Settle progress of running jobs on the *shared* subset of the
+        given nodes (resident count > 1, pruned through the n_res
+        column).  Callers must only use this when every sole resident is
+        already settled or not yet running — the finishing job in
+        :meth:`_finish_job`, the just-placed jobs in
+        :meth:`_scheduling_point` — so the settled set matches
+        :meth:`_settle_residents` exactly.  Skipping a *different*
+        running job's settle would not be equivalent: progress is
+        accumulated stepwise and two exact sub-steps need not bit-match
+        one combined step."""
+        affected = self.cluster.shared_resident_jobs(node_ids)
+        for jid in affected:
+            job = self.jobs.get(jid)
+            if job is None:
+                raise SimulationError(
+                    f"node hosts unknown job {jid} (policy placed a job "
+                    f"that was never submitted)"
+                )
+            if job.state is JobState.RUNNING:
+                job.settle_progress(now)
+        return affected
 
     def _refresh(self, job_ids: Set[int], touched_nodes: Set[int],
                  now: float) -> None:
@@ -683,25 +732,61 @@ class Simulation:
         condition set (see ``_job_time_from_keys``)."""
         refreshed: List[Job] = []
         needed: Set[int] = set()
+        # Per-job work lists computed in this scan and consumed by the
+        # derivation loop below: ``(upd, solo)`` where ``upd`` is the
+        # node list to re-key (None: the whole placement, fresh build)
+        # and ``solo`` the parallel is-sole-resident flags (None: no
+        # solo nodes).  Sole-resident nodes are pruned from ``needed``:
+        # their condition keys come from the closed-form
+        # ``solo_condition_key`` instead of a materialized view.
+        updates: Dict[int, tuple] = {}
         conds = self._job_conds
+        cluster = self.cluster
+        n_res = cluster.columns.n_res
         for jid in job_ids:
             job = self.jobs[jid]
             if job.state is not JobState.RUNNING or job.placement is None:
                 continue
             refreshed.append(job)
             state = conds.get(jid)
+            if state is not None and state[0] is None:
+                # Solo-condition entry (no per-node key map): it cannot
+                # be updated incrementally, so re-derive from scratch —
+                # the job may well still be all-solo (e.g. its own nodes
+                # were only brushed by a sibling placement batch).
+                del conds[jid]
+                state = None
             if state is None:
-                needed.update(job.placement.node_ids)
+                node_ids = job.placement.node_ids
+                arr = np.fromiter(node_ids, dtype=np.int64,
+                                  count=len(node_ids))
+                solo = n_res[arr] == 1
+                if solo.all():
+                    conds[jid] = (None, cluster.solo_conditions(
+                        jid, job.program, job.placement
+                    ))
+                    continue
+                if solo.any():
+                    needed.update(arr[~solo].tolist())
+                    updates[jid] = (None, solo.tolist())
+                else:
+                    needed.update(node_ids)
+                    updates[jid] = (None, None)
             else:
                 node_keys = state[0]
                 if len(touched_nodes) < len(node_keys):
-                    needed.update(
-                        n for n in touched_nodes if n in node_keys
-                    )
+                    upd = [n for n in touched_nodes if n in node_keys]
                 else:
-                    needed.update(
-                        n for n in node_keys if n in touched_nodes
-                    )
+                    upd = [n for n in node_keys if n in touched_nodes]
+                if upd:
+                    arr = np.fromiter(upd, dtype=np.int64, count=len(upd))
+                    solo = n_res[arr] == 1
+                    if solo.any():
+                        needed.update(arr[~solo].tolist())
+                        updates[jid] = (upd, solo.tolist())
+                        continue
+                    needed.update(upd)
+                updates[jid] = (upd, None)
         if self.telemetry is not None:
             needed.update(touched_nodes)
         if not needed and not refreshed:
@@ -717,44 +802,65 @@ class Simulation:
             placement = job.placement
             procs_per_node = placement.procs_per_node
             state = conds.get(jid)
-            if state is None:
+            if state is not None and state[0] is None:
+                # Sole resident everywhere: condition-key counts came
+                # straight from ClusterState.solo_conditions in the scan
+                # above — no views to consult.
+                key_counts = state[1]
+            elif state is None:
+                _, solo = updates[jid]
                 node_keys = {}
                 key_counts: Dict[tuple, int] = {}
                 # Sibling nodes of a wide job share one view tuple (see
                 # arbitration_batch), and an identical view implies an
                 # identical condition key — derive once per distinct view.
+                # Sole-resident nodes never got a view: their key is the
+                # closed form, derived once per distinct process count.
                 prev_view = prev_key = None
-                for nid in placement.node_ids:
-                    view = views[nid]
-                    if view is prev_view:
-                        key = prev_key
+                solo_keys: Dict[int, tuple] = {}
+                for i, nid in enumerate(placement.node_ids):
+                    if solo is not None and solo[i]:
+                        p = procs_per_node[nid]
+                        key = solo_keys.get(p)
+                        if key is None:
+                            key = cluster.solo_condition_key(
+                                jid, job.program, placement, p
+                            )
+                            solo_keys[p] = key
                     else:
-                        slot = view[0].index(jid)
-                        key = (
-                            procs_per_node[nid], view[3][slot],
-                            view[1][slot], view[2],
-                        )
-                        prev_view, prev_key = view, key
+                        view = views[nid]
+                        if view is prev_view:
+                            key = prev_key
+                        else:
+                            slot = view[0].index(jid)
+                            key = (
+                                procs_per_node[nid], view[3][slot],
+                                view[1][slot], view[2],
+                            )
+                            prev_view, prev_key = view, key
                     node_keys[nid] = key
                     key_counts[key] = key_counts.get(key, 0) + 1
                 conds[jid] = (node_keys, key_counts)
             else:
                 node_keys, key_counts = state
-                if len(touched_nodes) < len(node_keys):
-                    update = (
-                        n for n in touched_nodes if n in node_keys
-                    )
-                else:
-                    update = (
-                        n for n in node_keys if n in touched_nodes
-                    )
-                for nid in update:
-                    view = views[nid]
-                    slot = view[0].index(jid)
-                    key = (
-                        procs_per_node[nid], view[3][slot],
-                        view[1][slot], view[2],
-                    )
+                upd, solo = updates[jid]
+                solo_keys = {}
+                for i, nid in enumerate(upd):
+                    if solo is not None and solo[i]:
+                        p = procs_per_node[nid]
+                        key = solo_keys.get(p)
+                        if key is None:
+                            key = cluster.solo_condition_key(
+                                jid, job.program, placement, p
+                            )
+                            solo_keys[p] = key
+                    else:
+                        view = views[nid]
+                        slot = view[0].index(jid)
+                        key = (
+                            procs_per_node[nid], view[3][slot],
+                            view[1][slot], view[2],
+                        )
                     old = node_keys[nid]
                     if key != old:
                         node_keys[nid] = key
@@ -765,7 +871,7 @@ class Simulation:
                             del key_counts[old]
                         key_counts[key] = key_counts.get(key, 0) + 1
             t_now = self._job_time_from_keys(
-                job.program, job.procs, key_counts, len(node_keys)
+                job.program, job.procs, key_counts, placement.n_nodes
             )
             t_ref = reference_time(job.program, job.procs, self._spec)
             job.set_speed(t_ref / t_now)

@@ -179,18 +179,12 @@ class TestCacheModeResolution:
                                            sim_config=SimConfig())
         assert sim2.ctx.enabled is True
 
-    def test_memo_shims_warn_and_share_default_context(self):
-        from repro.perfmodel import memo
-
-        with pytest.warns(DeprecationWarning, match="deprecated"):
-            enabled = memo.caches_enabled()
-        assert enabled is memo.default_context().enabled
-        with pytest.warns(DeprecationWarning):
-            memo.clear_caches()
-        assert all(
-            stats["size"] == 0
-            for stats in memo.default_context().cache_stats().values()
-        )
+    def test_memo_facade_is_gone(self):
+        """The deprecated process-global ``perfmodel.memo`` facade was
+        removed after its one deprecation cycle; kernel state lives on
+        per-simulation :class:`PerfContext` objects only."""
+        with pytest.raises(ImportError):
+            import repro.perfmodel.memo  # noqa: F401
 
 
 def _run_point(task):

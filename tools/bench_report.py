@@ -56,15 +56,25 @@ from repro.experiments.concurrent import run_grid_threads  # noqa: E402
 from repro.experiments.fig20_large_cluster import (     # noqa: E402
     smoke_trace_config,
 )
+from repro.experiments.shard import run_grid_processes  # noqa: E402
 from repro.hardware.topology import ClusterSpec         # noqa: E402
 from repro.obs import verify_trace, write_chrome_trace  # noqa: E402
-from repro.workloads.trace import synthesize_trace      # noqa: E402
+from repro.workloads.trace import (                     # noqa: E402
+    SyntheticTraceConfig,
+    synthesize_trace,
+)
 
 #: The benchmark grid (fixed: changing it would break comparability).
 RATIOS = (0.9, 0.5)
 SIZES = (4096, 8192)
 POLICIES = ("CE", "SNS")
 SEED = 42
+
+#: The full-scale grid (``--full``): the paper's headline Fig 20
+#: configuration — the complete 7,044-job Trinity-like trace on the
+#: 32,768-node cluster at scaling ratio 0.9 — under both policies.
+FULL_RATIOS = (0.9,)
+FULL_SIZES = (32768,)
 
 #: Kernel counters copied into each config entry (DESIGN.md §7).
 COUNTER_COLUMNS = (
@@ -128,23 +138,33 @@ def _run_one(task: tuple) -> dict:
     return entry
 
 
-def run_grid(caches: bool = True, threads: int = 1,
+def run_grid(caches: bool = True, threads: int = 1, processes: int = 1,
              verbose: bool = True, trace: bool = False,
-             chrome_out: Optional[str] = None) -> dict:
+             chrome_out: Optional[str] = None, full: bool = False) -> dict:
     """Run the smoke grid once; returns the BENCH_sim entry payload.
 
-    ``threads > 1`` interleaves the grid points on a thread pool; the
+    ``threads > 1`` interleaves the grid points on a thread pool and
+    ``processes > 1`` shards them across forked worker processes
+    (:func:`repro.experiments.shard.run_grid_processes`); either way the
     per-config results are bit-identical to a serial run by the
     state-ownership contract (DESIGN.md §9).  ``trace=True`` runs every
     grid point with a full-level tracer and replays each trace through
     the invariant checker; ``chrome_out`` additionally exports the first
-    SNS config's Chrome trace."""
-    trace_config = smoke_trace_config()
+    SNS config's Chrome trace.  ``full=True`` swaps in the full-scale
+    Fig 20 grid (complete Trinity-like trace, 32K nodes)."""
+    if full:
+        trace_config = SyntheticTraceConfig()
+        ratios, sizes = FULL_RATIOS, FULL_SIZES
+        grid_name = "fig20-full 32k"
+    else:
+        trace_config = smoke_trace_config()
+        ratios, sizes = RATIOS, SIZES
+        grid_name = "fig20-smoke 2x2x2"
     tasks: List[list] = []
-    for ratio in RATIOS:
+    for ratio in ratios:
         jobs = synthesize_trace(seed=SEED, scaling_ratio=ratio,
                                 config=trace_config)
-        for nodes in SIZES:
+        for nodes in sizes:
             for policy in POLICIES:
                 tasks.append([ratio, nodes, policy, jobs, caches,
                               trace, None])
@@ -155,7 +175,9 @@ def run_grid(caches: bool = True, threads: int = 1,
                 break
     tasks = [tuple(t) for t in tasks]
     start = time.perf_counter()
-    if threads > 1:
+    if processes > 1:
+        configs = run_grid_processes(_run_one, tasks, processes=processes)
+    elif threads > 1:
         configs = run_grid_threads(_run_one, tasks, threads=threads)
     else:
         configs = [_run_one(t) for t in tasks]
@@ -167,14 +189,15 @@ def run_grid(caches: bool = True, threads: int = 1,
                   f"ratio {c['ratio']}: "
                   f"{c['wall_s']:6.2f}s  {c['events']} events")
     # Serial entries report summed per-config wall time (comparable to
-    # older entries); threaded entries report overall elapsed, since
-    # per-config clocks overlap.
-    total_wall = elapsed if threads > 1 \
+    # older entries); threaded/sharded entries report overall elapsed,
+    # since per-config clocks overlap.
+    total_wall = elapsed if threads > 1 or processes > 1 \
         else sum(c["wall_s"] for c in configs)
     return {
-        "grid": "fig20-smoke 2x2x2",
+        "grid": grid_name,
         "caches": caches,
         "threads": threads,
+        "processes": processes,
         "trace": trace,
         "total_wall_s": round(total_wall, 4),
         "total_events": total_events,
@@ -289,6 +312,15 @@ def main(argv=None) -> int:
     parser.add_argument("--threads", type=int, default=1, metavar="N",
                         help="run the grid on an N-thread pool and gate "
                              "bit-identity against serial entries")
+    parser.add_argument("--processes", type=int, default=1, metavar="N",
+                        help="shard the grid across N forked worker "
+                             "processes (shared-memory result buffers) "
+                             "and gate bit-identity against serial "
+                             "entries")
+    parser.add_argument("--full", action="store_true",
+                        help="run the full-scale Fig 20 grid instead of "
+                             "the smoke grid: the complete 7,044-job "
+                             "Trinity-like trace on 32,768 nodes")
     parser.add_argument("--trace-gate", action="store_true",
                         help="gate the observability layer: run the grid "
                              "untraced and fully traced, require "
@@ -307,11 +339,26 @@ def main(argv=None) -> int:
     caches = not args.no_caches
     label: Optional[str] = args.label
     if label is None:
-        label = f"threads{args.threads}" if args.threads > 1 else "current"
-    mode = f"{args.threads} threads" if args.threads > 1 else "serial"
-    print(f"benchmarking fig20 smoke grid "
+        if args.processes > 1:
+            label = f"processes{args.processes}"
+        elif args.threads > 1:
+            label = f"threads{args.threads}"
+        else:
+            label = "current"
+        if args.full:
+            label = "fig20-full" if label == "current" \
+                else f"fig20-full-{label}"
+    if args.processes > 1:
+        mode = f"{args.processes} processes"
+    elif args.threads > 1:
+        mode = f"{args.threads} threads"
+    else:
+        mode = "serial"
+    scale = "full" if args.full else "smoke"
+    print(f"benchmarking fig20 {scale} grid "
           f"(caches {'on' if caches else 'off'}, {mode}) ...")
-    entry = run_grid(caches=caches, threads=args.threads)
+    entry = run_grid(caches=caches, threads=args.threads,
+                     processes=args.processes, full=args.full)
     print(f"total: {entry['total_wall_s']:.2f}s, "
           f"{entry['events_per_s']:.0f} events/s")
 
@@ -322,7 +369,7 @@ def main(argv=None) -> int:
     report[label] = entry
     baselines = [
         (name, e["total_wall_s"]) for name, e in report.items()
-        if name != label
+        if name != label and e.get("grid") == entry["grid"]
     ]
     for name, wall in baselines:
         print(f"vs {name}: {wall / entry['total_wall_s']:.2f}x")
