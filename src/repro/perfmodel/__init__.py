@@ -12,7 +12,7 @@ each simulation; the modules here are stateless.
 
 from repro.perfmodel.batch import arbitrate_nodes
 from repro.perfmodel.context import MAX_ENTRIES, PerfContext, resolve_cache_mode
-from repro.perfmodel.contention import Slice, arbitrate_node, node_bandwidth_usage
+from repro.perfmodel.contention import Slice, arbitrate_node
 from repro.perfmodel.execution import (
     NodeConditions,
     job_time,
@@ -29,7 +29,6 @@ __all__ = [
     "Slice",
     "arbitrate_node",
     "arbitrate_nodes",
-    "node_bandwidth_usage",
     "NodeConditions",
     "job_time",
     "job_speed",

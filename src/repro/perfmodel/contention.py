@@ -127,21 +127,3 @@ def node_network_load(spec: NodeSpec, slices: Sequence[Slice]) -> float:
         for s in slices
         if s.n_nodes > 1
     )
-
-
-def node_bandwidth_usage(spec: NodeSpec, slices: Sequence[Slice],
-                         ctx: Optional["PerfContext"] = None) -> float:
-    """Achieved DRAM bandwidth on the node (GB/s) — the telemetry signal
-    behind the paper's Figs 17/18 heat maps.
-
-    Achieved equals granted: an uncontended job draws exactly its demand,
-    a contended one draws its proportional share.  With a ``ctx`` the
-    grants come from its memoized arbitration kernel (bit-identical to
-    re-arbitrating from scratch; cached grants are stored in slice
-    order, so the sum adds in the same order as the reference).
-    """
-    if ctx is None:
-        grants = arbitrate_node(spec, slices)
-    else:
-        grants, _ = ctx.node_arbitration(spec, slices)
-    return sum(grants.values())

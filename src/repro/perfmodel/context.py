@@ -127,10 +127,14 @@ class PerfContext:
             "demand": [0, 0], "rate": [0, 0], "node": [0, 0],
             "net": [0, 0], "supply": [0, 0],
         }  # [hits, misses]
-        #: Batched-kernel instrumentation (repro.perfmodel.batch):
-        #: batched calls, nodes and slices solved.
+        #: Batched-kernel instrumentation: arbitration batch calls,
+        #: nodes and slices solved (repro.perfmodel.batch), plus
+        #: vectorized curve-kernel evaluations (repro.perfmodel.
+        #: curves_vec) and batched finish-time updates (the runtime's
+        #: refresh hot path).
         self.batch_counters: Dict[str, int] = {
             "batch_calls": 0, "batch_nodes": 0, "batch_slices": 0,
+            "vec_curve_evals": 0, "vec_finish_updates": 0,
         }
 
     # -- mode control -------------------------------------------------------

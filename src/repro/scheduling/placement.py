@@ -27,10 +27,9 @@ def split_procs(procs: int, node_ids: Sequence[int]) -> Dict[int, int]:
     if procs < n:
         raise SchedulingError(f"cannot split {procs} processes onto {n} nodes")
     base, extra = divmod(procs, n)
-    return {
-        nid: base + (1 if i < extra else 0)
-        for i, nid in enumerate(node_ids)
-    }
+    if not extra:
+        return dict.fromkeys(node_ids, base)
+    return dict(zip(node_ids, [base + 1] * extra + [base] * (n - extra)))
 
 
 def find_nodes(

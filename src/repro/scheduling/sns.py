@@ -27,7 +27,11 @@ from repro.hardware.topology import ClusterSpec
 from repro.perfmodel.context import PerfContext
 from repro.profiling.database import ProfileDatabase
 from repro.scheduling.base import BaseScheduler
-from repro.scheduling.demand import ResourceDemand, estimate_demand
+from repro.scheduling.demand import (
+    ResourceDemand,
+    estimate_demand,
+    estimate_demands_batch,
+)
 from repro.scheduling.placement import find_nodes, split_procs
 from repro.sim.cluster import ClusterState
 from repro.sim.job import Job
@@ -94,35 +98,55 @@ class SpreadNShareScheduler(BaseScheduler):
         if hit is not None and hit[0] is job.program:
             self.counters["demand_cache_hits"] += 1
             return hit[1]
-        value = self._compute_candidates(job, alpha)
+        value = self._compute_candidates(job, alpha, ctx)
         if len(self._demand_cache) >= ctx.max_entries:
             self._demand_cache.clear()
         self._demand_cache[key] = (job.program, value)
         return value
 
-    def _compute_candidates(self, job: Job, alpha: float) -> _Candidates:
+    def _compute_candidates(
+        self, job: Job, alpha: float, ctx: Optional[PerfContext] = None
+    ) -> _Candidates:
         spec = self.cluster_spec.node
         try:
             profile = self._get_profile(job)
         except ProfileError:
             return None
-        candidates = []
-        for k in profile.preferred_scale_order(self.config.scale_tolerance):
+        scales = list(
+            profile.preferred_scale_order(self.config.scale_tolerance)
+        )
+        entries = []
+        for k in scales:
             scale_profile = profile.get(k)
             net_fraction = 0.0
             if self.config.manage_network:
                 net_fraction = job.program.comm.network_fraction(
                     scale_profile.n_nodes
                 )
-            demand = estimate_demand(
-                scale_profile, job.procs, alpha, spec,
-                min_ways=self.config.min_ways,
-                network_fraction=net_fraction,
+            entries.append((scale_profile, net_fraction))
+        if ctx is not None and ctx.enabled:
+            # Whole-sweep demand estimation through the vectorized curve
+            # kernels; the scalar per-scale walk below stays as the
+            # cache-disabled reference oracle (bit-identical by the
+            # curves_vec contract).
+            demands = estimate_demands_batch(
+                entries, job.procs, alpha, spec,
+                min_ways=self.config.min_ways, ctx=ctx,
             )
-            if not self._valid_footprint(job, demand.n_nodes):
-                continue
-            candidates.append((k, demand))
-        return tuple(candidates)
+        else:
+            demands = [
+                estimate_demand(
+                    sp, job.procs, alpha, spec,
+                    min_ways=self.config.min_ways,
+                    network_fraction=nf,
+                )
+                for sp, nf in entries
+            ]
+        return tuple(
+            (k, demand)
+            for k, demand in zip(scales, demands)
+            if self._valid_footprint(job, demand.n_nodes)
+        )
 
     def _place_exclusive(
         self, cluster: ClusterState, job: Job, scale: int,

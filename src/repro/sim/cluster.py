@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from collections import Counter, deque
 from dataclasses import dataclass, field
-from itertools import islice, repeat
+from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
@@ -24,7 +24,7 @@ from repro.perfmodel.contention import (
     arbitrate_node,
     node_network_load,
 )
-from repro.sim.node import NodeColumns, NodeState, _Resident
+from repro.sim.node import NodeColumns, NodeState, SliceColumns
 
 #: Cached per-node arbitration, stored positionally so signature-shared
 #: results fan out to sibling nodes as plain tuple packing: (resident job
@@ -58,10 +58,12 @@ class ClusterState:
     # deterministic iteration order, and — unlike sorting — no O(G log G)
     # cost per query on clusters with tens of thousands of idle nodes.
     _by_free_cores: Dict[int, Dict[int, None]] = field(init=False)
-    # Per-node arbitration results, evicted whenever place/remove changes
-    # the node's slice set; the runtime's _refresh reads unchanged nodes
-    # from here instead of re-arbitrating them from scratch.
-    _arb_cache: Dict[int, ArbitrationView] = field(init=False)
+    # Per-node arbitration results as an object column (index = node id,
+    # ``None`` = no entry), evicted whenever place/remove changes the
+    # node's slice set; the runtime's _refresh reads unchanged nodes
+    # from here instead of re-arbitrating them from scratch.  A batched
+    # place/remove evicts its whole cohort with one fancy-indexed write.
+    _arb_cache: np.ndarray = field(init=False)
     # Signature-keyed arbitration views shared *across* nodes: wide-job
     # placement produces thousands of nodes with identical resident mixes,
     # and a _arb_cache eviction on one of them can be refilled from a
@@ -95,6 +97,9 @@ class ClusterState:
         # contiguous arrays directly.  There is no shadow copy to flush.
         n = self.spec.num_nodes
         self.columns = NodeColumns(n, self.spec.node)
+        # Per-slice SoA plane (job id / procs / ways / bw / net per dense
+        # resident slot), kept in lockstep with the node columns.
+        self.scols = SliceColumns(n, self.spec.node.cores)
         self.nodes = [
             NodeState(
                 node_id=i,
@@ -103,6 +108,7 @@ class ClusterState:
                 enforce_bw=self.enforce_bw,
                 share_residual=self.share_residual,
                 columns=self.columns,
+                scols=self.scols,
                 slot=i,
             )
             for i in range(n)
@@ -110,7 +116,7 @@ class ClusterState:
         self._by_free_cores = {
             self.spec.node.cores: dict.fromkeys(range(n))
         }
-        self._arb_cache = {}
+        self._arb_cache = np.full(n, None, dtype=object)
         self._view_cache = {}
         self._down = {}
         self.counters = {
@@ -120,6 +126,7 @@ class ClusterState:
             "arb_nodes_solved": 0,
             "nodes_scanned": 0,
             "find_fail_hits": 0,
+            "scan_cache_hits": 0,
         }
         # Negative placement-search cache: demand tuples find_nodes
         # failed for at the given release epoch (see find_nodes —
@@ -128,6 +135,14 @@ class ClusterState:
         # Per-bucket node-id arrays for scan_hosts, invalidated when a
         # node enters or leaves the bucket.
         self._bucket_arrays: Dict[int, np.ndarray] = {}
+        # Per-bucket scan-result memo: demand tuple -> qualifying ids.
+        # A node's capacity columns cannot change without its free-core
+        # count changing (every slice consumes cores), so unchanged
+        # bucket membership implies unchanged member state — the memo is
+        # evicted exactly where the id-array cache is, plus the
+        # defensive zero-proc edges where columns move but buckets
+        # don't.
+        self._scan_cache: Dict[int, Dict[tuple, List[int]]] = {}
 
     # -- index maintenance -----------------------------------------------------
 
@@ -151,6 +166,10 @@ class ClusterState:
         if arrays:
             arrays.pop(old_free, None)
             arrays.pop(new_free, None)
+        scache = self._scan_cache
+        if scache:
+            scache.pop(old_free, None)
+            scache.pop(new_free, None)
 
     def place(self, node_id: int, job_id: int, program, procs: int,
               ways: int, bw: float, n_nodes: int, net: float = 0.0) -> None:
@@ -161,15 +180,22 @@ class ClusterState:
         old = int(self.columns.free_cores[node_id])
         self.nodes[node_id].place(job_id, program, procs, ways, bw,
                                   n_nodes, net)
+        if not procs:
+            # Zero-proc slice: columns changed but the node stays in its
+            # bucket — _reindex below is a no-op, evict the memo here.
+            self._scan_cache.pop(old, None)
         self._reindex(node_id, old, old - procs)
-        self._arb_cache.pop(node_id, None)
+        self._arb_cache[node_id] = None
 
     def remove(self, node_id: int, job_id: int) -> None:
         cols = self.columns
         old = int(cols.free_cores[node_id])
         self.nodes[node_id].remove(job_id)
-        self._reindex(node_id, old, int(cols.free_cores[node_id]))
-        self._arb_cache.pop(node_id, None)
+        new = int(cols.free_cores[node_id])
+        if new == old:
+            self._scan_cache.pop(old, None)
+        self._reindex(node_id, old, new)
+        self._arb_cache[node_id] = None
         self.release_epoch += 1
 
     def place_slices(self, node_ids: Sequence[int], job_id: int, program,
@@ -213,20 +239,19 @@ class ClusterState:
             bad = bad \
                 or bool(np.any(cols.parts[arr] >= cols.max_partitions)) \
                 or bool(np.any(cols.free_ways[arr] < ways))
-        nodes_list = [nodes[i] for i in node_ids]
-        res_dicts = [n._residents for n in nodes_list]
+        sc = self.scols
         # Duplicate-resident check, pruned to occupied nodes through the
         # n_res column (an idle node cannot already host this job).
-        busy = cols.n_res[arr] > 0
+        slot_pos = cols.n_res[arr]  # fancy index: an owned copy
+        busy = slot_pos > 0
         busy_any = bool(busy.any())
-        if busy_any and any(
-            map(dict.__contains__, res_dicts, repeat(job_id))
-        ):
-            for nid, residents in zip(node_ids, res_dicts):
-                if job_id in residents:
-                    raise AllocationError(
-                        f"job {job_id} already on node {nid}"
-                    )
+        if busy_any:
+            dup = (sc.job[arr] == job_id).any(axis=1)
+            if bool(dup.any()):
+                raise AllocationError(
+                    f"job {job_id} already on node "
+                    f"{node_ids[int(np.argmax(dup))]}"
+                )
         if bad:
             free_ways = cols.free_ways[arr].tolist()
             parts = cols.parts[arr].tolist()
@@ -248,7 +273,22 @@ class ClusterState:
                             f"only {free_ways[i]} free"
                         )
             raise AllocationError("place_slices validation out of sync")
-        # -- columns (single fancy-indexed op per array) -------------------
+        # -- slice columns: append at each node's dense free slot ----------
+        if int(slot_pos.max()) >= sc.slots:
+            sc.grow()
+        sc.job[arr, slot_pos] = job_id
+        sc.procs[arr, slot_pos] = procs_arr
+        if partitioned:
+            sc.ways[arr, slot_pos] = ways
+        if bw != 0.0:
+            sc.bw[arr, slot_pos] = bw
+        if net != 0.0:
+            sc.net[arr, slot_pos] = net
+        entry = sc.meta.get(job_id)
+        sc.meta[job_id] = (
+            program, n_nodes, count if entry is None else entry[2] + count
+        )
+        # -- node columns (single fancy-indexed op per array) --------------
         cols.free_cores[arr] -= procs_arr
         cols.n_res[arr] += 1
         if partitioned:
@@ -267,66 +307,59 @@ class ClusterState:
         sig_ways = ways if partitioned else 0
         sig_bw = bw if self.enforce_bw else -1.0
         pid = id(program)
-        # One resident record, signature item, and — for nodes that were
-        # empty before this batch — one fully-assembled arb signature per
-        # distinct process count (an even split has at most two).  Cohort
-        # nodes sharing the signature *object* lets arbitration_batch
-        # collapse them through an identity memo without rebuilding or
-        # re-hashing per node.
+        # One fully-assembled arb signature per distinct process count
+        # (an even split has at most two) for nodes that were empty
+        # before this batch.  Cohort nodes sharing the signature *object*
+        # lets arbitration_batch collapse them through an identity memo
+        # without rebuilding or re-hashing per node.
         shared: Dict[int, tuple] = {}
         for procs in set(procs_list):
             key = (
                 ((pid, procs, n_nodes, sig_ways, sig_bw),),
                 cols.llc_ways - ways if partitioned else procs,
             )
-            shared[procs] = (
-                _Resident(program, procs, n_nodes, bw, net),
-                (key, (job_id,), (program,)),
-            )
-        # The per-node writes run as C-level bulk dict/attribute ops —
-        # no interpreted loop body per slice.  A previously-empty node's
-        # signature is the cohort's shared one (sole resident, full
-        # residual ways / sole core user); an occupied node with a
-        # current signature *extends* it in place of a lazy rebuild
-        # (the new resident appends at the end of insertion order, and
-        # the residual shifts by exactly this slice's ways/cores) —
-        # both match what arb_signature() would rebuild from scratch.
-        if len(shared) == 1:
-            pair = shared[procs_list[0]]
-            deque(map(dict.__setitem__, res_dicts, repeat(job_id),
-                      repeat(pair[0])), maxlen=0)
-        else:
-            deque(map(dict.__setitem__, res_dicts, repeat(job_id),
-                      [shared[p][0] for p in procs_list]), maxlen=0)
+            shared[procs] = (key, (job_id,), (program,))
+        # Signatures write through the object column as fancy-indexed
+        # bulk ops — no interpreted loop body per slice.  A previously-
+        # empty node's signature is the cohort's shared one (sole
+        # resident, full residual ways / sole core user); an occupied
+        # node with a current signature *extends* it in place of a lazy
+        # rebuild (the new resident appends at the end of insertion
+        # order, and the residual shifts by exactly this slice's
+        # ways/cores) — both match what arb_signature() would rebuild
+        # from scratch.
+        sigs = sc.sig
+        cell = np.empty(1, dtype=object)
         if not busy_any:
             if len(shared) == 1:
-                deque(map(setattr, nodes_list, repeat("_arb_sig"),
-                          repeat(shared[procs_list[0]][1])), maxlen=0)
+                cell[0] = shared[procs_list[0]]
+                sigs[arr] = cell
             else:
-                deque(map(setattr, nodes_list, repeat("_arb_sig"),
-                          [shared[p][1] for p in procs_list]), maxlen=0)
+                # One masked write per distinct process count (an even
+                # split has at most two); a bare tuple would coerce to a
+                # 2-D object array, hence the 1-cell wrapper.
+                for p, s in shared.items():
+                    cell = np.empty(1, dtype=object)
+                    cell[0] = s
+                    sigs[arr[procs_arr == p]] = cell
         else:
-            for node, p, b in zip(nodes_list, procs_list, busy.tolist()):
+            for nid, p, b in zip(node_ids, procs_list, busy.tolist()):
                 if not b:
-                    node._arb_sig = shared[p][1]
+                    sigs[nid] = shared[p]
                     continue
-                sig = node._arb_sig
+                sig = sigs[nid]
                 if sig is None:
                     continue
                 okey = sig[0]
-                node._arb_sig = (
+                sigs[nid] = (
                     (
-                        okey[0] + shared[p][1][0][0],
+                        okey[0] + shared[p][0][0],
                         okey[1] - ways if partitioned else okey[1] + p,
                     ),
                     sig[1] + (job_id,),
                     sig[2] + (program,),
                 )
-        if partitioned:
-            deque(map(dict.__setitem__,
-                      [n._alloc for n in nodes_list],
-                      repeat(job_id), repeat(ways)), maxlen=0)
-        deque(map(self._arb_cache.pop, node_ids, repeat(None)), maxlen=0)
+        self._arb_cache[arr] = None
         self._reindex_batch(node_ids, old_free, procs_list, -1)
 
     def remove_slices(self, node_ids: Sequence[int], job_id: int) -> None:
@@ -345,45 +378,61 @@ class ClusterState:
         so one slice decides the batch-wide re-sum and ways values.
         """
         count = len(node_ids)
-        nodes = self.nodes
         cols = self.columns
+        sc = self.scols
         arr = np.fromiter(node_ids, dtype=np.int64, count=count)
         old_free = cols.free_cores[arr].tolist()
         partitioned = self.partitioned
-        nodes_list = [nodes[i] for i in node_ids]
-        res_dicts = [n._residents for n in nodes_list]
-        first = res_dicts[0].get(job_id)
-        if first is None:
-            raise AllocationError(f"job {job_id} not on node {node_ids[0]}")
-        resum = first.booked_bw != 0.0 or first.booked_net != 0.0
         # Nodes keeping residents (before the decrement below) need
         # their booked sums rebuilt and their signatures shrunk;
-        # emptied nodes reset to zeros / None.
+        # emptied nodes reset to zeros / None.  When NO node keeps a
+        # resident (the dominant shape: a job leaving nodes it had to
+        # itself), density pins its sole slice at slot 0 on every node
+        # — no mask/argmax/compaction machinery needed at all.
         kept = cols.n_res[arr] > 1
-        kept_pos = np.nonzero(kept)[0].tolist()
-        try:
-            if partitioned:
-                ways = nodes_list[0]._alloc[job_id]
-                deque(map(dict.__delitem__,
-                          [n._alloc for n in nodes_list],
-                          repeat(job_id)), maxlen=0)
-            removed = list(map(dict.pop, res_dicts, repeat(job_id)))
-        except KeyError:
-            for nid, residents in zip(node_ids, res_dicts):
-                if job_id not in residents:
-                    raise AllocationError(
-                        f"job {job_id} not on node {nid}"
-                    ) from None
-            raise
-        procs_list = [r.procs for r in removed]
+        kept_any = bool(kept.any())
+        if not kept_any:
+            jcol = sc.job[arr, 0]
+            bad = jcol != job_id
+            if bool(bad.any()):
+                # Validation precedes any mutation, so the raise leaves
+                # the cluster untouched — same message the scalar path
+                # raises (an idle node's slot 0 holds the -1 sentinel).
+                raise AllocationError(
+                    f"job {job_id} not on node "
+                    f"{node_ids[int(np.argmax(bad))]}"
+                )
+            pos = None
+            procs_arr = sc.procs[arr, 0]
+            p0 = 0
+            kept_pos: List[int] = []
+        else:
+            jrows = sc.job[arr]  # (count, slots+1) owned copies
+            mask = jrows == job_id
+            hit = mask.any(axis=1)
+            if not bool(hit.all()):
+                raise AllocationError(
+                    f"job {job_id} not on node "
+                    f"{node_ids[int(np.argmin(hit))]}"
+                )
+            pos = mask.argmax(axis=1)
+            procs_arr = sc.procs[arr, pos]
+            p0 = int(pos[0])
+            kept_pos = np.nonzero(kept)[0].tolist()
+        procs_list = procs_arr.tolist()
+        if partitioned:
+            ways = int(sc.ways[arr[0], p0])
+        resum = float(sc.bw[arr[0], p0]) != 0.0 \
+            or float(sc.net[arr[0], p0]) != 0.0
         # A surviving node with a current signature *shrinks* it in
         # place of a lazy rebuild: dropping position ``idx`` from each
         # parallel tuple and shifting the residual by exactly this
         # slice's ways/cores matches what arb_signature() would rebuild
         # from the surviving residents in insertion order.
+        sigs = sc.sig
         shrunk: List[Optional[tuple]] = []
         for i in kept_pos:
-            sig = nodes_list[i]._arb_sig
+            sig = sigs[node_ids[i]]
             if sig is None:
                 shrunk.append(None)
                 continue
@@ -400,48 +449,97 @@ class ClusterState:
                 jids[:idx] + jids[idx + 1:],
                 sig[2][:idx] + sig[2][idx + 1:],
             ))
-        deque(map(setattr, nodes_list, repeat("_arb_sig"), repeat(None)),
-              maxlen=0)
+        sigs[arr] = None
         for i, sig in zip(kept_pos, shrunk):
             if sig is not None:
-                nodes_list[i]._arb_sig = sig
-        deque(map(self._arb_cache.pop, node_ids, repeat(None)), maxlen=0)
-        cols.free_cores[arr] += np.asarray(procs_list, dtype=np.int64)
+                sigs[node_ids[i]] = sig
+        self._arb_cache[arr] = None
+        cols.free_cores[arr] += procs_arr
         cols.n_res[arr] -= 1
         if partitioned:
             cols.free_ways[arr] += ways
             cols.parts[arr] -= 1
+        # -- slice columns: compact the survivors left ---------------------
+        # An emptied node's sole slice sits at slot 0 (density), so it
+        # only needs constant fills there.  A surviving node shifts its
+        # survivors left through one fancy gather per column: column
+        # index ``j`` reads source ``j`` before the removed position and
+        # ``j + 1`` after it, with the permanently-empty pad column
+        # supplying the trailing sentinel/zero fill — dense insertion
+        # order is preserved with no argsort and no per-row Python.
+        if pos is None:
+            sc.job[arr, 0] = -1
+            sc.procs[arr, 0] = 0
+            if partitioned:
+                sc.ways[arr, 0] = 0
+            if resum:
+                sc.bw[arr, 0] = 0.0
+                sc.net[arr, 0] = 0.0
+        else:
+            empt_rows = arr[~kept]
+            sh_rows = arr[kept]
+            if empt_rows.size:
+                sc.job[empt_rows, 0] = -1
+                sc.procs[empt_rows, 0] = 0
+                if partitioned:
+                    sc.ways[empt_rows, 0] = 0
+                if resum:
+                    sc.bw[empt_rows, 0] = 0.0
+                    sc.net[empt_rows, 0] = 0.0
+            if sh_rows.size:
+                # Shift survivors left of each removed position via one
+                # contiguous slice copy per (distinct position, column):
+                # batches remove one job, whose slot index takes very few
+                # distinct values across its nodes, so this beats a
+                # full-width fancy gather.  The advanced-index read on
+                # the right copies before the write lands, and the pad
+                # column supplies the trailing sentinel/zero fill.
+                width = sc.slots
+                kpos = pos[kept]
+                for p in np.unique(kpos).tolist():
+                    rows = sh_rows[kpos == p]
+                    sc.job[rows, p:width] = sc.job[rows, p + 1:width + 1]
+                    sc.procs[rows, p:width] = \
+                        sc.procs[rows, p + 1:width + 1]
+                    if partitioned:
+                        sc.ways[rows, p:width] = \
+                            sc.ways[rows, p + 1:width + 1]
+                    sc.bw[rows, p:width] = sc.bw[rows, p + 1:width + 1]
+                    sc.net[rows, p:width] = sc.net[rows, p + 1:width + 1]
+        entry = sc.meta[job_id]
+        if entry[2] <= count:
+            del sc.meta[job_id]
+        else:
+            sc.meta[job_id] = (entry[0], entry[1], entry[2] - count)
         if resum:
             # Dropping an exact-0.0 booking preserves every partial sum
             # bitwise, so the columns only need re-summing when the
             # removed slices actually booked something.
-            empt = arr[~kept]
+            empt = arr if pos is None else arr[~kept]
             if empt.size:
                 cols.booked_bw[empt] = 0.0
                 cols.bw_eps[empt] = (cols.peak_bw - 0.0) + 1e-9
                 cols.booked_net[empt] = 0.0
                 cols.net_eps[empt] = (1.0 - 0.0) + 1e-9
-            sh = arr[kept]
-            if sh.size:
-                booked_bw: List[float] = []
-                booked_net: List[float] = []
-                for i in kept_pos:
-                    residents = res_dicts[i]
-                    if len(residents) == 1:
-                        (r,) = residents.values()
-                        booked_bw.append(r.booked_bw)
-                        booked_net.append(r.booked_net)
-                    else:
-                        booked_bw.append(sum(
-                            r.booked_bw for r in residents.values()
-                        ))
-                        booked_net.append(sum(
-                            r.booked_net for r in residents.values()
-                        ))
-                cols.booked_bw[sh] = booked_bw
+            if kept_any and sh_rows.size:
+                # Left-to-right column adds over the compacted rows are
+                # bit-identical to a Python sum in insertion order: the
+                # slots are dense, and adding a trailing exact-0.0 pad
+                # is a bitwise no-op for the non-negative bookings.
+                sh = sh_rows
+                span = int(cols.n_res[sh].max())
+                bw_rows = sc.bw[sh, :span]
+                net_rows = sc.net[sh, :span]
+                tot_bw = bw_rows[:, 0].copy()
+                for k in range(1, span):
+                    tot_bw += bw_rows[:, k]
+                tot_net = net_rows[:, 0].copy()
+                for k in range(1, span):
+                    tot_net += net_rows[:, k]
+                cols.booked_bw[sh] = tot_bw
                 cols.bw_eps[sh] = (cols.peak_bw - cols.booked_bw[sh]) \
                     + 1e-9
-                cols.booked_net[sh] = booked_net
+                cols.booked_net[sh] = tot_net
                 cols.net_eps[sh] = (1.0 - cols.booked_net[sh]) + 1e-9
         self._reindex_batch(node_ids, old_free, procs_list, +1)
         self.release_epoch += 1
@@ -459,25 +557,40 @@ class ClusterState:
         """
         buckets = self._by_free_cores
         arrays = self._bucket_arrays
-        if min(procs_list) == max(procs_list):
-            # Uniform process count (even split — the common shape for
-            # both exclusive and spread placements): nodes group by
-            # source bucket, and with one shared delta the old → new
-            # bucket map is injective, so no destination receives from
-            # two groups and no interleaving with per-node moves is
-            # observable.  Deletions never reorder a bucket's surviving
-            # members and insertions append in batch order, so each
-            # bucket's membership order — the only order downstream
-            # scans observe — matches the per-node loop exactly.
-            procs = procs_list[0]
+        scache = self._scan_cache
+        # Nodes move in bulk, one contiguous *run* of equal process
+        # counts at a time (an even split yields one run; the base+1 /
+        # base split of an uneven one yields two).  Runs execute in
+        # batch order and each run's members arrive at their
+        # destinations in batch order, so every destination bucket
+        # receives members in overall batch order — exactly the
+        # membership order a per-node loop would produce.  Within one
+        # run the shared delta makes the old → new bucket map
+        # injective, so no destination interleaves two of its groups;
+        # deletions never reorder a bucket's surviving members.
+        count = len(procs_list)
+        start = 0
+        while start < count:
+            procs = procs_list[start]
+            stop = start + 1
+            while stop < count and procs_list[stop] == procs:
+                stop += 1
             if not procs:
-                return
+                # Zero-proc runs leave their buckets alone but may have
+                # changed other capacity columns: evict their scan memos.
+                if self._scan_cache:
+                    for old in set(old_free[start:stop]):
+                        self._scan_cache.pop(old, None)
+                start = stop
+                continue
             delta = sign * procs
-            if min(old_free) == max(old_free):
-                groups: Iterable = ((old_free[0], node_ids),)
+            run_nodes = node_ids[start:stop]
+            run_old = old_free[start:stop]
+            if min(run_old) == max(run_old):
+                groups: Iterable = ((run_old[0], run_nodes),)
             else:
                 by_old: Dict[int, list] = {}
-                for nid, old in zip(node_ids, old_free):
+                for nid, old in zip(run_nodes, run_old):
                     members = by_old.get(old)
                     if members is None:
                         by_old[old] = [nid]
@@ -502,29 +615,10 @@ class ClusterState:
                 if arrays:
                     arrays.pop(old, None)
                     arrays.pop(new, None)
-            return
-        for i, nid in enumerate(node_ids):
-            procs = procs_list[i]
-            if not procs:
-                continue
-            old = old_free[i]
-            new = old + sign * procs
-            try:
-                bucket = buckets[old]
-                del bucket[nid]
-            except KeyError:
-                raise SimulationError("free-core index out of sync") \
-                    from None
-            if not bucket:
-                del buckets[old]
-            new_bucket = buckets.get(new)
-            if new_bucket is None:
-                buckets[new] = {nid: None}
-            else:
-                new_bucket[nid] = None
-            if arrays:
-                arrays.pop(old, None)
-                arrays.pop(new, None)
+                if scache:
+                    scache.pop(old, None)
+                    scache.pop(new, None)
+            start = stop
 
     # -- availability (fault injection, DESIGN.md §8) ---------------------------
 
@@ -536,7 +630,7 @@ class ClusterState:
         if node_id in self._down:
             raise SimulationError(f"node {node_id} is already down")
         node = self.nodes[node_id]
-        if node._residents:
+        if int(self.columns.n_res[node_id]):
             raise SimulationError(
                 f"cannot fail node {node_id} with resident slices"
             )
@@ -550,6 +644,7 @@ class ClusterState:
         if not bucket:
             del buckets[free]
         self._bucket_arrays.pop(free, None)
+        self._scan_cache.pop(free, None)
         self._down[node_id] = None
         self.availability_version += 1
 
@@ -568,6 +663,7 @@ class ClusterState:
         else:
             bucket[node_id] = None
         self._bucket_arrays.pop(free, None)
+        self._scan_cache.pop(free, None)
         self.availability_version += 1
         self.release_epoch += 1
 
@@ -610,7 +706,20 @@ class ClusterState:
         id array is reused until the bucket's membership changes.
         """
         arr = None
+        memo = None
+        dkey = None
         if bucket is not None and self.ctx.enabled:
+            # Scan-result memo: congested replays retry near-identical
+            # demands against unchanged buckets; a hit skips the whole
+            # column scan.  The copy keeps callers from aliasing the
+            # cached list.
+            memo = self._scan_cache.get(bucket)
+            dkey = (cores, ways, bw, net, limit)
+            if memo is not None:
+                hit = memo.get(dkey)
+                if hit is not None:
+                    self.counters["scan_cache_hits"] += 1
+                    return list(hit)
             arr = self._bucket_arrays.get(bucket)
         if arr is None:
             count = len(ids) if hasattr(ids, "__len__") else -1
@@ -619,7 +728,6 @@ class ClusterState:
                 self._bucket_arrays[bucket] = arr
         if arr.size == 0:
             return []
-        self.counters["nodes_scanned"] += int(arr.size)
         cols = self.columns
         if self.partitioned and (
             ways < cols.min_ways or ways > cols.llc_ways
@@ -627,27 +735,51 @@ class ClusterState:
             return []  # can_allocate() rejects on every node
         # Zero-demand dimensions are foregone conclusions (the epsilon
         # columns are strictly positive by construction), so their
-        # elementwise compares are skipped outright.
-        if bucket is not None and bucket >= cores:
-            # Bucket invariant: every member has exactly ``bucket`` free
-            # cores, so the core comparison is a foregone conclusion.
+        # elementwise compares are skipped outright; ``bucket >= cores``
+        # makes the core comparison one too (bucket invariant: every
+        # member has exactly ``bucket`` free cores).
+        check_cores = not (bucket is not None and bucket >= cores)
+        if not (check_cores or bw > 0.0 or self.partitioned or net > 0.0):
+            hits = arr[:limit] if arr.size > limit else arr
+            self.counters["nodes_scanned"] += int(hits.size)
+            out = hits.tolist()
+            if dkey is not None:
+                self._scan_cache.setdefault(bucket, {})[dkey] = out
+                return list(out)
+            return out
+        # Chunked scan with early stop: callers only consume the first
+        # ``limit`` qualifiers (in id-array order, which chunking
+        # preserves), so wide buckets stop as soon as the quota is
+        # filled instead of testing every member.
+        counters = self.counters
+        out: List[int] = []
+        size = int(arr.size)
+        chunk = max(512, limit)
+        start = 0
+        while start < size and len(out) < limit:
+            sub = arr[start:start + chunk]
+            start += chunk
+            counters["nodes_scanned"] += int(sub.size)
             ok = None
-        else:
-            ok = cols.free_cores[arr] >= cores
-        if bw > 0.0:
-            m = cols.bw_eps[arr] >= bw
-            ok = m if ok is None else ok & m
-        if self.partitioned:
-            m = cols.free_ways[arr] >= ways
-            ok = m if ok is None else ok & m
-            ok &= cols.parts[arr] < cols.max_partitions
-        if net > 0.0:
-            m = cols.net_eps[arr] >= net
-            ok = m if ok is None else ok & m
-        hits = arr if ok is None else arr[ok]
-        if hits.size > limit:
-            hits = hits[:limit]
-        return hits.tolist()
+            if check_cores:
+                ok = cols.free_cores[sub] >= cores
+            if bw > 0.0:
+                m = cols.bw_eps[sub] >= bw
+                ok = m if ok is None else ok & m
+            if self.partitioned:
+                m = cols.free_ways[sub] >= ways
+                ok = m if ok is None else ok & m
+                ok &= cols.parts[sub] < cols.max_partitions
+            if net > 0.0:
+                m = cols.net_eps[sub] >= net
+                ok = m if ok is None else ok & m
+            out.extend(sub[ok].tolist())
+        if len(out) > limit:
+            out = out[:limit]
+        if dkey is not None:
+            self._scan_cache.setdefault(bucket, {})[dkey] = out
+            return list(out)
+        return out
 
     def pick_idlest(self, ids: List[int], n: int, beta: float) -> List[int]:
         """The ``n`` ids with the lowest occupancy metric (ties broken by
@@ -725,7 +857,7 @@ class ClusterState:
         if not self.ctx.enabled:
             return self._arbitrate(node_id)
         self.counters["arb_requests"] += 1
-        view = self._arb_cache.get(node_id)
+        view = self._arb_cache[node_id]
         if view is None:
             view = self._arbitrate(node_id)
             self._arb_cache[node_id] = view
@@ -763,21 +895,37 @@ class ClusterState:
         # their signature *object* (key, jids, and programs together), so
         # after the first sibling resolves, the rest collapse to a single
         # id() lookup — no re-hash of the key tuple, no program-identity
-        # re-check.  Signature objects are pinned by the nodes' _arb_sig
+        # re-check.  Signature objects are pinned by the sig column's
         # refs for the duration of the call, so ids cannot be recycled.
         by_key_id: Dict[int, ArbitrationView] = {}
-        for nid in node_ids:
-            requests += 1
-            view = arb_cache.get(nid)
+        # Scalar numpy reads (`arb_cache[nid]`, `n_res[nid]`, sig cell)
+        # cost ~a microsecond each and this loop runs for every
+        # refreshed node; one fancy-index gather per column amortizes
+        # them to C speed, then the loop touches plain Python lists.
+        node_list = (node_ids if isinstance(node_ids, (list, tuple))
+                     else list(node_ids))
+        count = len(node_list)
+        if not count:
+            return views
+        idx = np.fromiter(node_list, dtype=np.int64, count=count)
+        cached = arb_cache[idx].tolist()
+        nres_list = self.columns.n_res[idx].tolist()
+        sig_list = self.scols.sig[idx].tolist()
+        requests = count
+        for i, nid in enumerate(node_list):
+            view = cached[i]
             if view is not None:
                 arb_hits += 1
                 views[nid] = view
                 continue
-            node = nodes[nid]
-            if not node._residents:
+            if not nres_list[i]:
                 views[nid] = arb_cache[nid] = ((), (), 0.0, ())
                 continue
-            key, jids, programs = node.arb_signature()
+            sig = sig_list[i]
+            if sig is None:
+                key, jids, programs = nodes[nid].arb_signature()
+            else:
+                key, jids, programs = sig
             full = by_key_id.get(id(key))
             if full is not None:
                 if full is _AWAITING_SOLVE:
@@ -902,7 +1050,8 @@ class ClusterState:
             self.counters["view_cache_hits"] += 1
             return (procs, entry[3][0], entry[1][0], entry[2])
         # Same expressions as NodeState.effective_ways for a sole
-        # resident (len(_alloc) == 1 / used_cores == procs).
+        # resident (n_res == 1, so the node's used cores equal the
+        # slice's procs).
         if partitioned:
             if self.share_residual:
                 eff = ways + (spec.llc_ways - ways) / 1
@@ -979,41 +1128,72 @@ class ClusterState:
             )
 
     def verify_columns(self) -> None:
-        """Check every SoA column slot against values recomputed from
-        the per-node resident bookkeeping — *exact* equality, including
-        the float bookings (the columns are contractually bit-identical
-        to a left-to-right re-sum in resident insertion order).  Test /
-        defensive-assertion hook, like :meth:`verify_index`."""
+        """Check every node-column slot against values recomputed from
+        the slice columns — *exact* equality, including the float
+        bookings (the columns are contractually bit-identical to a
+        left-to-right re-sum in slice insertion order).  Also enforces
+        the slice-plane structural contract: occupied slots are dense
+        in insertion order, empty slots hold the ``-1`` sentinel and
+        exact zeros, and the per-job meta refcounts match the installed
+        slice counts.  Test / defensive-assertion hook, like
+        :meth:`verify_index`."""
         cols = self.columns
+        sc = self.scols
         spec = self.spec.node
+        refcounts: Dict[int, int] = {}
         for node in self.nodes:
             nid = node.node_id
-            residents = node._residents
-            used = sum(r.procs for r in residents.values())
+            jrow = sc.job[nid].tolist()
+            occupied = [k for k, j in enumerate(jrow) if j >= 0]
+            m = len(occupied)
+            if occupied != list(range(m)):
+                raise SimulationError(
+                    f"node {nid}: slice slots not dense: {jrow}"
+                )
+            for jid in jrow[:m]:
+                if jid not in sc.meta:
+                    raise SimulationError(
+                        f"node {nid}: job {jid} has no meta entry"
+                    )
+                refcounts[jid] = refcounts.get(jid, 0) + 1
+            if len(set(jrow[:m])) != m:
+                raise SimulationError(
+                    f"node {nid}: duplicate resident job: {jrow[:m]}"
+                )
+            for name, fill in (("procs", 0), ("ways", 0),
+                               ("bw", 0.0), ("net", 0.0)):
+                tail = getattr(sc, name)[nid, m:]
+                if bool((tail != fill).any()):
+                    raise SimulationError(
+                        f"node {nid}: {name} column has non-zero "
+                        f"empty slots"
+                    )
+            if int(cols.n_res[nid]) != m:
+                raise SimulationError(
+                    f"node {nid}: n_res column {int(cols.n_res[nid])} "
+                    f"!= {m}"
+                )
+            used = sum(sc.procs[nid, :m].tolist())
             if int(cols.free_cores[nid]) != spec.cores - used:
                 raise SimulationError(
                     f"node {nid}: free_cores column "
                     f"{int(cols.free_cores[nid])} != {spec.cores - used}"
                 )
-            allocated = sum(node._alloc.values())
+            allocated = sum(sc.ways[nid, :m].tolist())
             if int(cols.free_ways[nid]) != spec.llc_ways - allocated:
                 raise SimulationError(
                     f"node {nid}: free_ways column "
                     f"{int(cols.free_ways[nid])} != "
                     f"{spec.llc_ways - allocated}"
                 )
-            if int(cols.parts[nid]) != len(node._alloc):
+            parts = m if self.partitioned else 0
+            if int(cols.parts[nid]) != parts:
                 raise SimulationError(
                     f"node {nid}: parts column {int(cols.parts[nid])} "
-                    f"!= {len(node._alloc)}"
+                    f"!= {parts}"
                 )
-            if int(cols.n_res[nid]) != len(residents):
-                raise SimulationError(
-                    f"node {nid}: n_res column {int(cols.n_res[nid])} "
-                    f"!= {len(residents)}"
-                )
-            booked_bw = sum(r.booked_bw for r in residents.values())
-            booked_net = sum(r.booked_net for r in residents.values())
+            booked_bw = sum(sc.bw[nid, :m].tolist())
+            booked_net = sum(sc.net[nid, :m].tolist())
             if float(cols.booked_bw[nid]) != booked_bw:
                 raise SimulationError(
                     f"node {nid}: booked_bw column "
@@ -1031,6 +1211,17 @@ class ClusterState:
             if float(cols.net_eps[nid]) != (1.0 - booked_net) + 1e-9:
                 raise SimulationError(
                     f"node {nid}: net_eps column out of sync"
+                )
+        for jid, n_slices in refcounts.items():
+            if sc.meta[jid][2] != n_slices:
+                raise SimulationError(
+                    f"job {jid}: meta refcount {sc.meta[jid][2]} != "
+                    f"{n_slices} installed slices"
+                )
+        for jid in sc.meta:
+            if jid not in refcounts:
+                raise SimulationError(
+                    f"job {jid}: meta entry with no installed slices"
                 )
 
     def gauge_columns(self) -> np.ndarray:
@@ -1055,26 +1246,25 @@ class ClusterState:
             gauges[2] = cols.llc_ways - cols.free_ways
         else:
             gauges[2] = 0.0
-        gauges[3] = np.fromiter(
-            (len(node._residents) for node in self.nodes),
-            dtype=np.float64, count=n,
-        )
+        gauges[3] = cols.n_res
         for nid in self._down:
             gauges[:, nid] = 0.0
         return gauges
 
     def resident_jobs_on(self, node_ids: Iterable[int]) -> Set[int]:
-        """Union of job ids resident on the given nodes."""
-        out: Set[int] = set()
-        nodes = self.nodes
-        for nid in node_ids:
-            out.update(nodes[nid]._residents)
-        return out
+        """Union of job ids resident on the given nodes (one gather over
+        the slice-id columns; empty slots hold ``-1``)."""
+        count = len(node_ids) if hasattr(node_ids, "__len__") else -1
+        arr = np.fromiter(node_ids, dtype=np.int64, count=count)
+        if not arr.size:
+            return set()
+        rows = self.scols.job[arr]
+        return set(rows[rows >= 0].tolist())
 
     def shared_resident_jobs(self, node_ids: Sequence[int]) -> Set[int]:
         """Job ids resident on those of the given nodes that host **more
         than one** resident.  The resident-count column prunes the scan,
-        so a fully exclusive placement walks zero Python dicts.
+        so a fully exclusive placement gathers zero slice rows.
 
         This is the co-runner discovery set of the runtime's settle
         paths: a node with a single resident has nobody whose speed the
@@ -1083,9 +1273,7 @@ class ClusterState:
         """
         arr = np.fromiter(node_ids, dtype=np.int64, count=len(node_ids))
         multi = arr[self.columns.n_res[arr] > 1]
-        out: Set[int] = set()
-        if multi.size:
-            nodes = self.nodes
-            for nid in multi.tolist():
-                out.update(nodes[nid]._residents)
-        return out
+        if not multi.size:
+            return set()
+        rows = self.scols.job[multi]
+        return set(rows[rows >= 0].tolist())

@@ -34,9 +34,9 @@ class Placement:
     def __post_init__(self) -> None:
         if not self.node_ids:
             raise SimulationError("placement must cover at least one node")
-        if set(self.node_ids) != set(self.procs_per_node):
+        if self.procs_per_node.keys() != set(self.node_ids):
             raise SimulationError("placement nodes and proc map disagree")
-        if any(p <= 0 for p in self.procs_per_node.values()):
+        if min(self.procs_per_node.values()) <= 0:
             raise SimulationError("per-node process counts must be positive")
 
     @property

@@ -10,25 +10,29 @@ of an unmanaged shared cache under equal per-core pressure).
 The *hot* per-node quantities — free cores, free ways, partition count,
 booked bandwidth/network and the scan-ready epsilon complements — live in
 :class:`NodeColumns`, a struct-of-arrays pool shared by every node of a
-cluster.  The columns are the **source of truth** (DESIGN.md §7): a
-:class:`NodeState` is a thin view over its column slot, and the cluster's
-vectorized paths (``scan_hosts``, ``pick_idlest``, batched place/remove)
-read and write the contiguous arrays directly — there is no per-node
-shadow copy and no dirty-flush step.  Cold bookkeeping that does not
-vectorize (the resident map, dedicated-way allocations, arbitration
-signatures) stays on the ``NodeState`` object.
+cluster.  Per-slice state — resident job id, process count, dedicated
+ways, booked bandwidth/network per slice — lives in :class:`SliceColumns`,
+a second struct-of-arrays pool kept in lockstep with the node columns
+(DESIGN.md §7).  The columns are the **source of truth**: a
+:class:`NodeState` is a thin view over its column slot with *no* per-slice
+Python objects of its own, and the cluster's vectorized paths
+(``scan_hosts``, ``pick_idlest``, batched place/remove, arbitration view
+assembly) read and write the contiguous arrays directly.
 
 Float discipline (bit-identity with re-summed bookkeeping, enforced by
 ``tests/test_soa_columns.py``): booked bandwidth/network columns are
 *added to* on placement — extending a left-to-right Python ``sum()`` by
 one term is the same single IEEE addition — and *re-summed over the
 remaining residents in insertion order* on removal, because float
-subtraction does not invert addition.
+subtraction does not invert addition.  Slice slots are kept dense in
+insertion order, so slot order *is* insertion order and the re-sum can
+run as left-to-right column adds (trailing empty slots hold exact ``0.0``
+and ``x + 0.0`` is a bitwise no-op for the non-negative bookings).
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -36,16 +40,6 @@ from repro.apps.program import ProgramSpec
 from repro.errors import AllocationError
 from repro.hardware.node_spec import NodeSpec
 from repro.perfmodel.contention import Slice
-
-
-class _Resident(NamedTuple):
-    # NamedTuple, not dataclass: constructed once per placed slice on the
-    # hottest allocation path, where tuple.__new__ beats __init__.
-    program: ProgramSpec
-    procs: int
-    n_nodes: int
-    booked_bw: float
-    booked_net: float = 0.0  # booked link-utilization fraction
 
 
 class NodeColumns:
@@ -86,6 +80,62 @@ class NodeColumns:
         return len(self.free_cores)
 
 
+class SliceColumns:
+    """Struct-of-arrays per-slice state for a pool of nodes.
+
+    Row = node slot, column = resident slot.  Resident slots are kept
+    **dense in insertion order**: a placement appends at slot
+    ``n_res``, a removal compacts the survivors left — so slot order is
+    resident insertion order, which is the order every order-sensitive
+    consumer (arbitration signatures, booked-float re-sums) observes.
+
+    Empty slots hold the sentinel ``-1`` in ``job`` and exact zeros in
+    every other column, which makes left-to-right column adds over a
+    whole slot span bit-identical to summing only the occupied slots.
+
+    Per-*job* (not per-slice) attributes that cannot be columnized — the
+    program reference and the placement width — live in ``meta``:
+    ``job_id -> (program, n_nodes, slice_refcount)``.  The refcount
+    tracks how many slices of the job are installed anywhere in the
+    pool, so scalar per-node place/remove keep it exact.
+    """
+
+    __slots__ = ("slots", "job", "procs", "ways", "bw", "net", "meta",
+                 "sig")
+
+    def __init__(self, n: int, slots: int) -> None:
+        # One extra physical column beyond the logical slot count: a
+        # permanently-empty pad the batched removal's shift-gather reads
+        # (index ``slots``) so survivors compact left in one fancy
+        # gather with no bounds special-casing.
+        self.slots = slots
+        self.job = np.full((n, slots + 1), -1, dtype=np.int64)
+        self.procs = np.zeros((n, slots + 1), dtype=np.int64)
+        self.ways = np.zeros((n, slots + 1), dtype=np.int64)
+        self.bw = np.zeros((n, slots + 1), dtype=np.float64)
+        self.net = np.zeros((n, slots + 1), dtype=np.float64)
+        self.meta: Dict[int, Tuple[ProgramSpec, int, int]] = {}
+        # Per-node cached arbitration signature (see NodeState.
+        # arb_signature) as an object column, so batched place/remove
+        # install or drop whole cohorts of signatures with single
+        # fancy-indexed writes instead of per-node attribute loops.
+        self.sig = np.full(n, None, dtype=object)
+
+    def grow(self) -> None:
+        """Double the resident-slot capacity (defensive: a node hosts at
+        most ``cores`` slices when every slice pins ≥1 process, but
+        nothing in the scalar API forbids zero-process slices)."""
+        n = self.job.shape[0]
+        new = self.slots * 2
+        for name, fill in (("job", -1), ("procs", 0), ("ways", 0),
+                           ("bw", 0.0), ("net", 0.0)):
+            old = getattr(self, name)
+            wide = np.full((n, new + 1), fill, dtype=old.dtype)
+            wide[:, :old.shape[1]] = old
+            setattr(self, name, wide)
+        self.slots = new
+
+
 class NodeState:
     """Mutable per-node bookkeeping: a view over one column slot.
 
@@ -95,20 +145,21 @@ class NodeState:
     ``share_residual`` controls the residual-way giveaway of Section 4.4;
     disabling it is an ablation knob.
 
-    A cluster-owned node shares its :class:`ClusterState`'s column pool
+    A cluster-owned node shares its :class:`ClusterState`'s column pools
     (``slot`` = node id); a standalone node (unit tests, ad-hoc use)
-    builds a private single-slot pool.
+    builds private single-slot pools.
     """
 
     __slots__ = (
         "node_id", "spec", "partitioned", "enforce_bw", "share_residual",
-        "columns", "_slot", "_residents", "_alloc", "_arb_sig",
+        "columns", "scols", "_slot",
     )
 
     def __init__(self, node_id: int, spec: NodeSpec,
                  partitioned: bool = True, enforce_bw: bool = False,
                  share_residual: bool = True,
                  columns: Optional[NodeColumns] = None,
+                 scols: Optional[SliceColumns] = None,
                  slot: Optional[int] = None) -> None:
         self.node_id = node_id
         self.spec = spec
@@ -118,17 +169,17 @@ class NodeState:
         if columns is None:
             columns = NodeColumns(1, spec)
             slot = 0
+        if scols is None:
+            scols = SliceColumns(len(columns), spec.cores)
         self.columns = columns
+        self.scols = scols
         self._slot = node_id if slot is None else slot
-        self._residents: Dict[int, _Resident] = {}
-        #: Dedicated (CAT) ways per resident job, insertion-ordered.
-        self._alloc: Dict[int, int] = {}
-        # Cached arbitration signature (see arb_signature), dropped on
-        # place/remove and rebuilt lazily from the resident map.  Cohort
-        # placement (ClusterState.place_slices) installs a shared
-        # pre-assembled signature on previously-empty nodes instead, so
-        # hot-path nodes never pay the rebuild.
-        self._arb_sig: Optional[tuple] = None
+        # The cached arbitration signature (see arb_signature) lives in
+        # ``scols.sig[slot]``: dropped on place/remove, rebuilt lazily
+        # from the slice columns.  Cohort placement (ClusterState.
+        # place_slices) installs a shared pre-assembled signature on
+        # previously-empty nodes instead, so hot-path nodes never pay
+        # the rebuild.
 
     # -- capacity queries ----------------------------------------------------
 
@@ -147,7 +198,7 @@ class NodeState:
     @property
     def cat_partitions(self) -> int:
         """Number of active CAT partitions on this node."""
-        return len(self._alloc)
+        return int(self.columns.parts[self._slot])
 
     @property
     def booked_bw(self) -> float:
@@ -170,11 +221,23 @@ class NodeState:
 
     @property
     def is_idle(self) -> bool:
-        return not self._residents
+        return not int(self.columns.n_res[self._slot])
 
     @property
     def resident_job_ids(self) -> List[int]:
-        return list(self._residents.keys())
+        slot = self._slot
+        n = int(self.columns.n_res[slot])
+        return self.scols.job[slot, :n].tolist()
+
+    def _resident_slot(self, job_id: int) -> int:
+        """Dense slot index of a resident job, or ``-1``."""
+        slot = self._slot
+        n = int(self.columns.n_res[slot])
+        row = self.scols.job[slot, :n].tolist()
+        try:
+            return row.index(job_id)
+        except ValueError:
+            return -1
 
     def occupancy_metric(self, beta: float) -> float:
         """The paper's node-selection metric ``Co + Bo + beta * Wo``
@@ -199,7 +262,7 @@ class NodeState:
             return False
         if self.partitioned and (
             ways < cols.min_ways
-            or len(self._alloc) >= cols.max_partitions
+            or cols.parts[slot] >= cols.max_partitions
             or ways > cols.free_ways[slot]
         ):
             return False
@@ -209,40 +272,16 @@ class NodeState:
             return False
         return True
 
-    def _allocate_ways(self, job_id: int, ways: int) -> None:
-        """Dedicate ``ways`` CAT ways to ``job_id`` (partitioned mode).
-        Same validation and error text as the historical per-node
-        ``WayLedger``; callers must update the way/partition columns."""
-        alloc = self._alloc
-        if job_id in alloc:
-            raise AllocationError(f"job {job_id} already has a way allocation")
-        cols = self.columns
-        if ways < cols.min_ways:
-            raise AllocationError(
-                f"job {job_id} requested {ways} ways; minimum is "
-                f"{cols.min_ways} (associativity floor)"
-            )
-        if len(alloc) >= cols.max_partitions:
-            raise AllocationError(
-                f"node already has {len(alloc)} CAT partitions "
-                f"(max {cols.max_partitions})"
-            )
-        free = int(cols.free_ways[self._slot])
-        if ways > free:
-            raise AllocationError(
-                f"job {job_id} requested {ways} ways; only {free} free"
-            )
-        alloc[job_id] = ways
-
     def place(self, job_id: int, program: ProgramSpec, procs: int,
               ways: int, bw: float, n_nodes: int,
               net: float = 0.0) -> None:
         """Install a job slice on this node."""
-        residents = self._residents
-        if job_id in residents:
-            raise AllocationError(f"job {job_id} already on node {self.node_id}")
         cols = self.columns
+        sc = self.scols
         slot = self._slot
+        n = int(cols.n_res[slot])
+        if job_id in sc.job[slot, :n].tolist():
+            raise AllocationError(f"job {job_id} already on node {self.node_id}")
         free = int(cols.free_cores[slot])
         if procs > free:
             raise AllocationError(
@@ -252,10 +291,39 @@ class NodeState:
         if net < 0:
             raise AllocationError("network booking must be non-negative")
         if self.partitioned:
-            self._allocate_ways(job_id, ways)
+            if ways < cols.min_ways:
+                raise AllocationError(
+                    f"job {job_id} requested {ways} ways; minimum is "
+                    f"{cols.min_ways} (associativity floor)"
+                )
+            parts = int(cols.parts[slot])
+            if parts >= cols.max_partitions:
+                raise AllocationError(
+                    f"node already has {parts} CAT partitions "
+                    f"(max {cols.max_partitions})"
+                )
+            free_ways = int(cols.free_ways[slot])
+            if ways > free_ways:
+                raise AllocationError(
+                    f"job {job_id} requested {ways} ways; "
+                    f"only {free_ways} free"
+                )
             cols.free_ways[slot] -= ways
             cols.parts[slot] += 1
-        residents[job_id] = _Resident(program, procs, n_nodes, bw, net)
+        if n >= sc.slots:
+            sc.grow()
+        sc.job[slot, n] = job_id
+        sc.procs[slot, n] = procs
+        if self.partitioned:
+            sc.ways[slot, n] = ways
+        if bw != 0.0:
+            sc.bw[slot, n] = bw
+        if net != 0.0:
+            sc.net[slot, n] = net
+        entry = sc.meta.get(job_id)
+        sc.meta[job_id] = (
+            program, n_nodes, 1 if entry is None else entry[2] + 1
+        )
         cols.free_cores[slot] = free - procs
         cols.n_res[slot] += 1
         # Booked totals grow by one left-to-right addition (exact); the
@@ -267,38 +335,54 @@ class NodeState:
         if net != 0.0:
             cols.booked_net[slot] += net
             cols.net_eps[slot] = (1.0 - cols.booked_net[slot]) + 1e-9
-        self._arb_sig = None
+        sc.sig[slot] = None
 
     def remove(self, job_id: int) -> None:
         """Remove a job slice (on completion)."""
-        residents = self._residents
-        try:
-            resident = residents.pop(job_id)
-        except KeyError:
+        cols = self.columns
+        sc = self.scols
+        slot = self._slot
+        n = int(cols.n_res[slot])
+        k = self._resident_slot(job_id)
+        if k < 0:
             raise AllocationError(
                 f"job {job_id} not on node {self.node_id}"
-            ) from None
-        cols = self.columns
-        slot = self._slot
+            )
+        procs = int(sc.procs[slot, k])
+        bw = float(sc.bw[slot, k])
+        net = float(sc.net[slot, k])
         if self.partitioned:
-            cols.free_ways[slot] += self._alloc.pop(job_id)
+            cols.free_ways[slot] += sc.ways[slot, k]
             cols.parts[slot] -= 1
-        cols.free_cores[slot] += resident.procs
+        # Compact the survivors left: slot order stays insertion order.
+        if k < n - 1:
+            sc.job[slot, k:n - 1] = sc.job[slot, k + 1:n]
+            sc.procs[slot, k:n - 1] = sc.procs[slot, k + 1:n]
+            sc.ways[slot, k:n - 1] = sc.ways[slot, k + 1:n]
+            sc.bw[slot, k:n - 1] = sc.bw[slot, k + 1:n]
+            sc.net[slot, k:n - 1] = sc.net[slot, k + 1:n]
+        sc.job[slot, n - 1] = -1
+        sc.procs[slot, n - 1] = 0
+        sc.ways[slot, n - 1] = 0
+        sc.bw[slot, n - 1] = 0.0
+        sc.net[slot, n - 1] = 0.0
+        entry = sc.meta[job_id]
+        if entry[2] <= 1:
+            del sc.meta[job_id]
+        else:
+            sc.meta[job_id] = (entry[0], entry[1], entry[2] - 1)
+        cols.free_cores[slot] += procs
         cols.n_res[slot] -= 1
         # Float bookings cannot be subtracted back out exactly: re-sum
         # the remaining residents in insertion order (same order the
         # totals were accumulated in).
-        if resident.booked_bw != 0.0:
-            cols.booked_bw[slot] = sum(
-                r.booked_bw for r in residents.values()
-            )
+        if bw != 0.0:
+            cols.booked_bw[slot] = sum(sc.bw[slot, :n - 1].tolist())
             cols.bw_eps[slot] = (cols.peak_bw - cols.booked_bw[slot]) + 1e-9
-        if resident.booked_net != 0.0:
-            cols.booked_net[slot] = sum(
-                r.booked_net for r in residents.values()
-            )
+        if net != 0.0:
+            cols.booked_net[slot] = sum(sc.net[slot, :n - 1].tolist())
             cols.net_eps[slot] = (1.0 - cols.booked_net[slot]) + 1e-9
-        self._arb_sig = None
+        sc.sig[slot] = None
 
     # -- performance-model views ----------------------------------------------
 
@@ -309,16 +393,20 @@ class NodeState:
         Unpartitioned: proportional share of the whole LLC by process
         count (free-for-all sharing).
         """
-        if job_id not in self._residents:
+        k = self._resident_slot(job_id)
+        if k < 0:
             raise AllocationError(f"job {job_id} not on node {self.node_id}")
+        cols = self.columns
+        sc = self.scols
+        slot = self._slot
         if self.partitioned:
-            dedicated = self._alloc[job_id]
+            dedicated = int(sc.ways[slot, k])
             if not self.share_residual:
                 return float(dedicated)
-            bonus = int(self.columns.free_ways[self._slot]) / len(self._alloc)
+            bonus = int(cols.free_ways[slot]) / int(cols.parts[slot])
             return dedicated + bonus
         total = self.used_cores
-        share = self._residents[job_id].procs / total
+        share = int(sc.procs[slot, k]) / total
         return self.spec.llc_ways * share
 
     def arb_signature(self) -> Tuple[tuple, Tuple[int, ...], tuple]:
@@ -326,64 +414,79 @@ class NodeState:
         arbitration inputs without materializing Slice objects.
 
         The key is job-id-independent but *order-preserving* (resident
-        insertion order), and together with the cluster-wide knobs
-        (``partitioned``/``share_residual``/``enforce_bw``/spec) it
-        fully determines every slice's ``effective_ways``, ``bw_cap``,
-        and demand — so two nodes with equal keys get bit-identical
-        arbitration results.  Program identity is validated by the
-        caller against the returned ``programs`` refs (stale-id
-        defence).  The tuple is cached until place/remove invalidates
-        it.
+        insertion order == dense slot order), and together with the
+        cluster-wide knobs (``partitioned``/``share_residual``/
+        ``enforce_bw``/spec) it fully determines every slice's
+        ``effective_ways``, ``bw_cap``, and demand — so two nodes with
+        equal keys get bit-identical arbitration results.  Program
+        identity is validated by the caller against the returned
+        ``programs`` refs (stale-id defence).  The tuple is cached until
+        place/remove invalidates it.
         """
-        sig = self._arb_sig
+        slot = self._slot
+        sig = self.scols.sig[slot]
         if sig is None:
             cols = self.columns
-            slot = self._slot
-            residents = self._residents
+            sc = self.scols
+            n = int(cols.n_res[slot])
+            jobs = sc.job[slot, :n].tolist()
+            procs = sc.procs[slot, :n].tolist()
             partitioned = self.partitioned
-            enforce_bw = self.enforce_bw
-            alloc = self._alloc
+            if partitioned:
+                wlist = sc.ways[slot, :n].tolist()
+            if self.enforce_bw:
+                bws = sc.bw[slot, :n].tolist()
+            meta = sc.meta
+            programs = tuple([meta[j][0] for j in jobs])
             items = tuple([
                 (
-                    id(r.program), r.procs, r.n_nodes,
-                    alloc[jid] if partitioned else 0,
-                    r.booked_bw if enforce_bw else -1.0,
+                    id(programs[i]), procs[i], meta[jobs[i]][1],
+                    wlist[i] if partitioned else 0,
+                    bws[i] if self.enforce_bw else -1.0,
                 )
-                for jid, r in residents.items()
+                for i, jid in enumerate(jobs)
             ])
             key = (
                 items,
                 int(cols.free_ways[slot]) if partitioned
                 else self.spec.cores - int(cols.free_cores[slot]),
             )
-            sig = (
-                key,
-                tuple(residents),
-                tuple([r.program for r in residents.values()]),
-            )
-            self._arb_sig = sig
+            sig = (key, tuple(jobs), programs)
+            sc.sig[slot] = sig
         return sig
 
     def slices(self) -> List[Slice]:
         """Current slices for the contention solver."""
+        cols = self.columns
+        sc = self.scols
+        slot = self._slot
+        n = int(cols.n_res[slot])
+        jobs = sc.job[slot, :n].tolist()
+        procs = sc.procs[slot, :n].tolist()
+        bws = sc.bw[slot, :n].tolist()
+        meta = sc.meta
+        enforce_bw = self.enforce_bw
         return [
             Slice(
                 job_id=jid,
-                program=r.program,
-                procs=r.procs,
+                program=meta[jid][0],
+                procs=procs[i],
                 effective_ways=self.effective_ways(jid),
-                n_nodes=r.n_nodes,
+                n_nodes=meta[jid][1],
                 bw_cap=(
-                    r.booked_bw
-                    if self.enforce_bw and r.booked_bw > 0
+                    bws[i]
+                    if enforce_bw and bws[i] > 0
                     else None
                 ),
             )
-            for jid, r in self._residents.items()
+            for i, jid in enumerate(jobs)
         ]
 
     def dedicated_ways(self, job_id: int) -> int:
         """Dedicated (CAT-partitioned) ways of a resident job."""
         if not self.partitioned:
             return 0
-        return self._alloc.get(job_id, 0)
+        k = self._resident_slot(job_id)
+        if k < 0:
+            return 0
+        return int(self.scols.ways[self._slot, k])

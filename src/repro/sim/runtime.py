@@ -797,6 +797,8 @@ class Simulation:
         trace_full = tracer is not None \
             and tracer.level >= TraceLevel.FULL
         views = self.cluster.arbitration_batch(needed)
+        t_nows: List[float] = []
+        t_refs: List[float] = []
         for job in refreshed:
             jid = job.job_id
             placement = job.placement
@@ -870,14 +872,48 @@ class Simulation:
                         else:
                             del key_counts[old]
                         key_counts[key] = key_counts.get(key, 0) + 1
-            t_now = self._job_time_from_keys(
+            t_nows.append(self._job_time_from_keys(
                 job.program, job.procs, key_counts, placement.n_nodes
+            ))
+            t_refs.append(reference_time(job.program, job.procs, self._spec))
+
+        # Batched finish-time update: ``speed = t_ref / t_now`` and
+        # ``finish = last_progress_update + remaining_work / speed`` are
+        # one and two IEEE ops per job — elementwise float64 division and
+        # addition are bit-identical to the scalar ``set_speed`` /
+        # ``projected_finish`` sequence.  Validation runs up front over
+        # the whole batch (before any job mutates), raising the scalar
+        # path's exact error for the first offender in job order.
+        if refreshed:
+            m = len(refreshed)
+            t_now_arr = np.array(t_nows, dtype=np.float64)
+            t_ref_arr = np.array(t_refs, dtype=np.float64)
+            speeds = t_ref_arr / t_now_arr
+            bad = speeds <= 0.0
+            if bad.any():
+                offender = refreshed[int(np.argmax(bad))]
+                raise SimulationError(
+                    f"job {offender.job_id} computed non-positive speed "
+                    f"{float(speeds[int(np.argmax(bad))])}"
+                )
+            last = np.fromiter(
+                (j.last_progress_update for j in refreshed),
+                dtype=np.float64, count=m,
             )
-            t_ref = reference_time(job.program, job.procs, self._spec)
-            job.set_speed(t_ref / t_now)
-            if trace_full:
-                tracer.speed(now, jid, job.speed)
-            self.events.push_finish(job.projected_finish(), jid)
+            rem = np.fromiter(
+                (j.remaining_work for j in refreshed),
+                dtype=np.float64, count=m,
+            )
+            fins = last + rem / speeds
+            self.ctx.batch_counters["vec_finish_updates"] += m
+            push_finish = self.events.push_finish
+            speeds_list = speeds.tolist()
+            fins_list = fins.tolist()
+            for i, job in enumerate(refreshed):
+                job.speed = speeds_list[i]
+                if trace_full:
+                    tracer.speed(now, job.job_id, job.speed)
+                push_finish(fins_list[i], job.job_id)
 
         if self.telemetry is not None:
             for nid in touched_nodes:

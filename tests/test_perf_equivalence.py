@@ -270,13 +270,13 @@ class TestArbitrationCacheInvalidation:
         self._place(cluster, 1, 2, procs=6)
         cluster.remove(1, 1)
         node = cluster.node(1)
-        residents = node._residents
-        assert node.used_cores == sum(r.procs for r in residents.values())
-        assert node.booked_bw == sum(r.booked_bw for r in residents.values())
-        assert node.booked_net == sum(
-            r.booked_net for r in residents.values()
-        )
+        sc = cluster.scols
+        n = node.cat_partitions
+        assert node.used_cores == sum(sc.procs[1, :n].tolist())
+        assert node.booked_bw == sum(sc.bw[1, :n].tolist())
+        assert node.booked_net == sum(sc.net[1, :n].tolist())
         cluster.verify_index()
+        cluster.verify_columns()
 
 
 class TestParallelGrid:

@@ -59,7 +59,7 @@ class _Driver:
                 not self.partitioned
                 or (
                     cluster.nodes[nid].free_ways >= ways
-                    and len(cluster.nodes[nid]._alloc)
+                    and cluster.nodes[nid].cat_partitions
                     < self.spec.cache.max_partitions
                 )
             )
@@ -70,7 +70,7 @@ class _Driver:
         return [
             nid for nid in range(NODES)
             if not cluster.is_down(nid)
-            and not cluster.nodes[nid]._residents
+            and cluster.nodes[nid].is_idle
         ]
 
     # -- operations ------------------------------------------------------

@@ -86,6 +86,8 @@ COUNTER_COLUMNS = (
     "find_fail_hits",
     "jobs_skipped",
     "demand_cache_hits",
+    "vec_curve_evals",
+    "vec_finish_updates",
 )
 
 
@@ -187,7 +189,8 @@ def run_grid(caches: bool = True, threads: int = 1, processes: int = 1,
         for c in configs:
             print(f"  {c['policy']:3s} {c['nodes']:5d} nodes "
                   f"ratio {c['ratio']}: "
-                  f"{c['wall_s']:6.2f}s  {c['events']} events")
+                  f"{c['wall_s']:6.2f}s  {c['events']} events  "
+                  f"{c['events_per_s']:7.0f} ev/s")
     # Serial entries report summed per-config wall time (comparable to
     # older entries); threaded/sharded entries report overall elapsed,
     # since per-config clocks overlap.
@@ -236,6 +239,47 @@ def check_divergence(report: dict, label: str) -> List[str]:
 #: Full tracing may cost at most this factor in grid wall-clock
 #: (DESIGN.md §10 overhead budget; the trace gate exits 3 beyond it).
 TRACE_OVERHEAD_LIMIT = 1.10
+
+#: Wall-clock regression threshold: a ``current`` run slower than this
+#: factor times the committed ``current`` entry draws a CI warning (the
+#: machine-noise band is well under 15 %; bit-identity stays the hard
+#: gate).
+WALL_REGRESSION_LIMIT = 1.15
+
+#: How many rows of the cProfile cumulative-time table ``--profile``
+#: prints and writes to the artifact file.
+PROFILE_TOP_N = 25
+
+
+def run_profiled(args: argparse.Namespace) -> int:
+    """``--profile``: run the serial smoke grid under :mod:`cProfile`
+    and emit the top-``PROFILE_TOP_N`` cumulative-time table — printed,
+    and written to ``--profile-out`` as a CI artifact.  Profiled walls
+    are *not* comparable to normal entries (instrumentation overhead is
+    roughly 2x on this Python-heavy code), so nothing is written to
+    BENCH_sim.json."""
+    import cProfile
+    import io
+    import pstats
+
+    caches = not args.no_caches
+    print(f"profiling fig20 smoke grid "
+          f"(caches {'on' if caches else 'off'}, serial, "
+          f"cProfile) ...")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    entry = run_grid(caches=caches, full=args.full)
+    profiler.disable()
+    print(f"total (instrumented): {entry['total_wall_s']:.2f}s")
+    buf = io.StringIO()
+    stats = pstats.Stats(profiler, stream=buf)
+    stats.sort_stats("cumulative").print_stats(PROFILE_TOP_N)
+    table = buf.getvalue()
+    print(table)
+    out = Path(args.profile_out)
+    out.write_text(table)
+    print(f"wrote profile artifact to {out}")
+    return 0
 
 
 def run_trace_gate(args: argparse.Namespace) -> int:
@@ -330,11 +374,22 @@ def main(argv=None) -> int:
                         help="with --trace-gate: export one traced "
                              "config's Chrome trace_event file (CI "
                              "artifact)")
+    parser.add_argument("--profile", action="store_true",
+                        help="run the serial grid under cProfile and "
+                             "emit the top-25 cumulative-time table "
+                             "(CI artifact; writes no benchmark entry)")
+    parser.add_argument("--profile-out", default=str(REPO_ROOT /
+                                                     "bench_profile.txt"),
+                        metavar="PATH",
+                        help="with --profile: where to write the "
+                             "cumulative-time table")
     parser.add_argument("--output", default=str(REPO_ROOT / "BENCH_sim.json"))
     args = parser.parse_args(argv)
 
     if args.trace_gate:
         return run_trace_gate(args)
+    if args.profile:
+        return run_profiled(args)
 
     caches = not args.no_caches
     label: Optional[str] = args.label
@@ -366,6 +421,20 @@ def main(argv=None) -> int:
     report = {}
     if path.exists():
         report = json.loads(path.read_text())
+    # Wall-clock regression warning (CI surfaces it): compare against
+    # the committed entry under the same label before overwriting it.
+    # Soft perf gate: every run (CI labels included) is compared against
+    # the committed canonical ``current`` entry for the same grid; bit
+    # identity below stays the hard gate.
+    prior = report.get("current") or report.get(label)
+    if prior is not None and prior.get("grid") == entry["grid"]:
+        ratio = entry["total_wall_s"] / prior["total_wall_s"]
+        if ratio > WALL_REGRESSION_LIMIT:
+            print(f"WARNING: wall-clock regression — "
+                  f"{entry['total_wall_s']:.2f}s is {ratio:.2f}x the "
+                  f"committed baseline "
+                  f"({prior['total_wall_s']:.2f}s, limit "
+                  f"{WALL_REGRESSION_LIMIT:.2f}x)")
     report[label] = entry
     baselines = [
         (name, e["total_wall_s"]) for name, e in report.items()
