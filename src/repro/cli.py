@@ -4,9 +4,11 @@ Subcommands
 -----------
 ``list``
     List the reproducible experiments.
-``run <fig-id> [--quick] [--jobs N]``
+``run <fig-id> [--quick] [--jobs N | --threads N]``
     Run one experiment and print its table (e.g. ``repro-sns run fig13``);
-    ``--jobs N`` fans grid experiments out over N worker processes.
+    ``--jobs N`` fans grid experiments out over N worker processes,
+    ``--threads N`` over N threads — both via the unified
+    :func:`repro.experiments.parallel.run_grid`.
 ``profile <program> [--procs N]``
     Run the profiling trial ladder for one catalog program and print the
     resulting profile.
@@ -22,6 +24,15 @@ Subcommands
     ``--trace-chrome out.json`` writes a Chrome ``trace_event`` file for
     chrome://tracing / ui.perfetto.dev.  Either flag also prints the
     trace's terminal summary.
+``serve [--policy SNS] [--nodes N] [--host H] [--port P]``
+    Run the live scheduler service (DESIGN.md §12): an asyncio master
+    that accepts job submissions over TCP and advances simulated time
+    only as submissions arrive.  Shares the simulation flags above
+    (``--faults`` / ``--no-caches`` / ``--trace``…) through the same
+    resolution helper, so they mean exactly the same thing here.
+``submit PROGRAM --procs N [--host H] [--port P]``
+    Submit one job to a running service (or query it:
+    ``--stats`` / ``--latencies`` / ``--drain`` / ``--shutdown``).
 """
 
 from __future__ import annotations
@@ -53,12 +64,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     kwargs = dict(experiment.quick_kwargs) if args.quick else {}
     if args.quick and not kwargs:
         print(f"(note: {args.experiment} has no reduced mode; running full)")
-    if args.parallel_jobs is not None:
+    if args.parallel_jobs is not None or args.parallel_threads is not None:
         if experiment.parallel:
-            kwargs["jobs"] = args.parallel_jobs
+            # Both flags feed the unified run_grid entry point; --jobs
+            # fans out across processes, --threads across threads.
+            if args.parallel_threads is not None:
+                kwargs["jobs"] = args.parallel_threads
+                kwargs["executor"] = "threads"
+            else:
+                kwargs["jobs"] = args.parallel_jobs
         else:
             print(f"(note: {args.experiment} has no parallel grid; "
-                  f"--jobs ignored)")
+                  f"--jobs/--threads ignored)")
     result = experiment.run(**kwargs)
     print(experiment.render(result))
     return 0
@@ -80,9 +97,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_simulate(args: argparse.Namespace) -> int:
+def resolve_sim_setup(args: argparse.Namespace):
+    """The one config-resolution path behind ``simulate`` and ``serve``:
+    both subcommands expose the same ``--nodes`` / ``--faults`` /
+    ``--no-caches`` / ``--trace`` flags, and this helper gives them the
+    same meaning — the cluster spec, the :class:`SimConfig`, and the
+    parsed fault plan all come from here."""
     cluster = ClusterSpec(num_nodes=args.nodes)
-    jobs = random_sequence(seed=args.seed, n_jobs=args.jobs)
     fault_plan = (
         parse_fault_spec(args.faults, cluster.num_nodes)
         if args.faults else None
@@ -93,26 +114,37 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         perf_caches=False if args.no_caches else None,
         trace=TraceConfig(level=args.trace_level) if tracing else None,
     )
+    return cluster, sim_config, fault_plan, tracing
+
+
+def _export_trace(args: argparse.Namespace, tracer) -> None:
+    """Write/summarize a recorded trace per the shared ``--trace`` /
+    ``--trace-chrome`` flags (used by ``simulate`` and ``serve``)."""
+    from repro.obs import summarize, write_chrome_trace, write_jsonl
+
+    assert tracer is not None
+    if args.trace:
+        count = write_jsonl(tracer.events, args.trace)
+        print(f"wrote {count} trace records to {args.trace}")
+    if args.trace_chrome:
+        count = write_chrome_trace(
+            tracer.events, args.trace_chrome, tracer.timeseries
+        )
+        print(f"wrote {count} Chrome trace events to "
+              f"{args.trace_chrome} (open in chrome://tracing or "
+              f"ui.perfetto.dev)")
+    print(summarize(tracer.events, tracer.timeseries))
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    cluster, sim_config, fault_plan, tracing = resolve_sim_setup(args)
+    jobs = random_sequence(seed=args.seed, n_jobs=args.jobs)
     result = run_policy(
         args.policy, cluster, jobs, sim_config=sim_config,
         fault_plan=fault_plan,
     )
     if tracing:
-        from repro.obs import summarize, write_chrome_trace, write_jsonl
-
-        tracer = result.trace
-        assert tracer is not None
-        if args.trace:
-            count = write_jsonl(tracer.events, args.trace)
-            print(f"wrote {count} trace records to {args.trace}")
-        if args.trace_chrome:
-            count = write_chrome_trace(
-                tracer.events, args.trace_chrome, tracer.timeseries
-            )
-            print(f"wrote {count} Chrome trace events to "
-                  f"{args.trace_chrome} (open in chrome://tracing or "
-                  f"ui.perfetto.dev)")
-        print(summarize(tracer.events, tracer.timeseries))
+        _export_trace(args, result.trace)
     print(f"{args.policy} on {args.nodes} nodes, {args.jobs} jobs "
           f"(seed {args.seed}):")
     print(f"  makespan      {result.makespan:10.1f} s")
@@ -139,6 +171,71 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.service import SchedulerMaster
+    from repro.sim.runtime import SchedulerCore
+
+    cluster, sim_config, fault_plan, tracing = resolve_sim_setup(args)
+    core = SchedulerCore.from_policy_name(
+        args.policy, cluster, sim_config=sim_config, fault_plan=fault_plan,
+    )
+    master = SchedulerMaster(core, queue_limit=args.queue_limit)
+
+    def ready(addr) -> None:
+        print(f"serving {args.policy} on {args.nodes} simulated nodes "
+              f"at {addr[0]}:{addr[1]} (queue limit {args.queue_limit})",
+              flush=True)
+
+    try:
+        asyncio.run(master.serve(args.host, args.port, ready=ready))
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    snap = core.snapshot()
+    print(f"served {master.accepted} submissions "
+          f"({master.rejected} rejected): {snap.finished} finished, "
+          f"{snap.failed} failed, {snap.pending} pending, "
+          f"{snap.running} running at t={snap.now:.1f}s")
+    if tracing:
+        _export_trace(args, core.tracer)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+
+    ops = [op for op in ("stats", "latencies", "drain", "shutdown")
+           if getattr(args, op)]
+    if not ops and args.program is None:
+        print("error: nothing to do — give a PROGRAM or one of "
+              "--stats/--latencies/--drain/--shutdown", file=sys.stderr)
+        return 1
+    with ServiceClient(args.host, args.port) as client:
+        if args.program is not None:
+            reply = client.submit(
+                program=args.program, procs=args.procs,
+                job_id=args.job_id, submit_time=args.submit_time,
+                work_multiplier=args.work_multiplier,
+            )
+            if not reply.get("ok", False):
+                # Retryable backpressure rejection: surface it as a
+                # distinct exit code so scripts can back off and retry.
+                print(f"rejected (retryable): {reply.get('error')}",
+                      file=sys.stderr)
+                return 2
+            print(f"accepted job {reply['job_id']} "
+                  f"at t={reply['submit_time']:.3f}s")
+        for op in ops:
+            reply = getattr(client, op)()
+            reply.pop("ok", None)
+            print(f"{op}: " + ", ".join(
+                f"{k}={v}" for k, v in reply.items()
+                if not isinstance(v, list)
+            ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-sns",
@@ -161,6 +258,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for grid experiments (0 = one per CPU); "
              "results are identical to a serial run",
     )
+    p_run.add_argument(
+        "--threads", type=int, default=None, dest="parallel_threads",
+        metavar="N",
+        help="worker threads instead of processes (overrides --jobs); "
+             "results are identical to a serial run",
+    )
 
     p_prof = sub.add_parser("profile", help="profile one catalog program")
     p_prof.add_argument("program", choices=program_names())
@@ -168,37 +271,83 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument("--nodes", type=int, default=8)
 
     p_sim = sub.add_parser("simulate", help="simulate one random sequence")
-    p_sim.add_argument("--policy", choices=("CE", "CE-BF", "CS", "SNS"),
-                       default="SNS")
     p_sim.add_argument("--seed", type=int, default=1)
     p_sim.add_argument("--jobs", type=int, default=20)
-    p_sim.add_argument("--nodes", type=int, default=8)
-    p_sim.add_argument(
+    _add_sim_options(p_sim)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the live scheduler service (DESIGN.md §12)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument(
+        "--port", type=int, default=7044,
+        help="TCP port (0 = ephemeral; default 7044)",
+    )
+    p_serve.add_argument(
+        "--queue-limit", type=int, default=256, metavar="N",
+        help="admission queue bound; a full queue rejects submissions "
+             "with a retryable error (default 256)",
+    )
+    _add_sim_options(p_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit one job to (or query) a running service"
+    )
+    p_submit.add_argument("program", nargs="?", default=None,
+                          help="catalog program name (omit for query ops)")
+    p_submit.add_argument("--procs", type=int, default=28)
+    p_submit.add_argument("--job-id", type=int, default=None)
+    p_submit.add_argument(
+        "--submit-time", type=float, default=None, metavar="T",
+        help="virtual submit time; clamped to the service watermark",
+    )
+    p_submit.add_argument("--work-multiplier", type=float, default=1.0)
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=7044)
+    p_submit.add_argument("--stats", action="store_true",
+                          help="print the service's /stats snapshot")
+    p_submit.add_argument("--latencies", action="store_true",
+                          help="print the submit->place latency summary")
+    p_submit.add_argument("--drain", action="store_true",
+                          help="run the service to completion and print "
+                               "the final summary")
+    p_submit.add_argument("--shutdown", action="store_true",
+                          help="stop the service")
+
+    return parser
+
+
+def _add_sim_options(parser: argparse.ArgumentParser) -> None:
+    """The flags ``simulate`` and ``serve`` share; both feed them
+    through :func:`resolve_sim_setup`, so the semantics are identical
+    by construction."""
+    parser.add_argument("--policy", choices=("CE", "CE-BF", "CS", "SNS"),
+                        default="SNS")
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="inject seeded node failures, e.g. mtbf=3600,mttr=300,seed=7"
              " (keys: mtbf, mttr, seed, horizon, retries, backoff)",
     )
-    p_sim.add_argument(
+    parser.add_argument(
         "--no-caches", action="store_true",
         help="run the unmemoized reference kernels "
              "(SimConfig(perf_caches=False)); results are bit-identical",
     )
-    p_sim.add_argument(
+    parser.add_argument(
         "--trace", default=None, metavar="PATH",
         help="write a structured decision trace as JSONL (DESIGN.md §10)",
     )
-    p_sim.add_argument(
+    parser.add_argument(
         "--trace-level", choices=("decisions", "events", "full"),
         default="events",
         help="how much the tracer records (default: events)",
     )
-    p_sim.add_argument(
+    parser.add_argument(
         "--trace-chrome", default=None, metavar="PATH",
         help="write a Chrome trace_event JSON file "
              "(open in chrome://tracing or ui.perfetto.dev)",
     )
-
-    return parser
 
 
 _COMMANDS = {
@@ -206,6 +355,8 @@ _COMMANDS = {
     "run": _cmd_run,
     "profile": _cmd_profile,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
 }
 
 

@@ -162,9 +162,7 @@ class SimConfig:
     #: runs the memoized fast paths, ``False`` the unmemoized reference
     #: kernels (bit-identical by contract; the switch to flip when
     #: debugging a suspected cache-coherence bug).  ``None`` (default)
-    #: resolves at :class:`~repro.sim.runtime.Simulation` construction:
-    #: enabled unless the deprecated ``REPRO_DISABLE_PERF_CACHES``
-    #: environment variable is set at that moment.
+    #: means enabled.
     perf_caches: Optional[bool] = None
 
     def __post_init__(self) -> None:

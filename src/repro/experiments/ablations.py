@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SchedulerConfig, SimConfig
 from repro.experiments.common import ascii_table, default_cluster
-from repro.experiments.parallel import grid_map
+from repro.experiments.parallel import run_grid
 from repro.hardware.topology import ClusterSpec
 from repro.metrics.means import arithmetic_mean, geometric_mean
 from repro.metrics.times import normalized_runtimes
@@ -109,6 +109,7 @@ def run_ablation(
     base_seed: int = 2019,
     alpha: float = 0.9,
     jobs: Optional[int] = None,
+    executor: str = "processes",
 ) -> AblationResult:
     cluster = cluster or default_cluster()
     variants = list(variants) if variants is not None else default_variants()
@@ -116,9 +117,10 @@ def run_ablation(
 
     # Sequence-major fan-out (each sequence is independent; the CE
     # baseline is computed once per sequence), merged variant-major.
-    per_sequence = grid_map(
+    per_sequence = run_grid(
         _run_sequence,
         [(seq, cluster, variants) for seq in sequences],
+        executor=executor,
         jobs=jobs,
     )
 

@@ -1,34 +1,23 @@
-"""Thread-concurrent experiment grids.
+"""Thread-concurrent experiment grids (deprecated module).
 
-:func:`run_grid_threads` is the in-process sibling of
-:func:`repro.experiments.parallel.grid_map`: it fans a grid of
-independent simulations out over a ``ThreadPoolExecutor`` instead of a
-process pool.  Threads share the interpreter, so this only pays off for
-workloads that release the GIL (numpy-heavy batched arbitration) or
-when process pools are unavailable (sandboxes without ``fork``); its
-real purpose is to *prove* the state-ownership refactor (DESIGN.md §9):
-
-* every :class:`~repro.sim.runtime.Simulation` owns a private
-  :class:`~repro.perfmodel.context.PerfContext`, so two simulations
-  interleaving on threads never share memo caches, statistics, or the
-  cache-mode flag — there is no process-global kernel state left to
-  race on;
-* the only cross-simulation state is immutable or deterministic (frozen
-  specs, the pure ``reference_time`` LRU), so a threaded run is
-  **bit-identical** to the same grid run serially — the contract
-  ``tests/test_perf_context.py`` and ``tools/bench_report.py --threads``
-  both enforce.
-
-Results are returned in task order; worker exceptions propagate to the
-caller exactly as they would serially.
+The thread executor now lives behind the unified
+:func:`repro.experiments.parallel.run_grid` entry point
+(``executor="threads"``); :func:`run_grid_threads` survives here as a
+thin deprecated alias for one release.  The thread path's purpose is
+unchanged — it *proves* the state-ownership refactor (DESIGN.md §9):
+every simulation owns a private
+:class:`~repro.perfmodel.context.PerfContext`, so interleaved runs are
+bit-identical to serial ones (the contract
+``tests/test_perf_context.py`` and ``tools/bench_report.py --threads``
+both enforce).
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+import warnings
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-from repro.experiments.parallel import resolve_jobs
+from repro.experiments.parallel import run_grid
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -39,18 +28,11 @@ def run_grid_threads(
     tasks: Sequence[T],
     threads: Optional[int] = None,
 ) -> List[R]:
-    """Map ``worker`` over ``tasks`` on a thread pool.
-
-    Drop-in for ``[worker(t) for t in tasks]``: results come back in
-    task order regardless of completion order, and the values are
-    bit-identical to the serial run (each task constructs its own
-    simulation and therefore its own perf context).  ``threads`` follows
-    the same convention as ``parallel.resolve_jobs``: ``None``/``1``
-    serial, ``<= 0`` one per CPU.
-    """
-    tasks = list(tasks)
-    n_workers = resolve_jobs(threads)
-    if n_workers <= 1 or len(tasks) <= 1:
-        return [worker(t) for t in tasks]
-    with ThreadPoolExecutor(max_workers=min(n_workers, len(tasks))) as pool:
-        return list(pool.map(worker, tasks))
+    """Deprecated alias for ``run_grid(..., executor="threads")``."""
+    warnings.warn(
+        "run_grid_threads is deprecated; use "
+        "run_grid(worker, tasks, executor='threads', jobs=N)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_grid(worker, tasks, executor="threads", jobs=threads)

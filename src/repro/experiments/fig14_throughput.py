@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 
 from repro.config import SchedulerConfig, SimConfig
 from repro.experiments.common import ascii_table, default_cluster, run_all_policies
-from repro.experiments.parallel import grid_map
+from repro.experiments.parallel import run_grid
 from repro.hardware.topology import ClusterSpec
 from repro.metrics.means import arithmetic_mean
 from repro.metrics.throughput import scaling_ratio
@@ -94,6 +94,7 @@ def run_fig14(
     base_seed: int = 2019,
     alpha: Optional[float] = None,
     jobs: Optional[int] = None,
+    executor: str = "processes",
 ) -> Fig14Result:
     cluster = cluster or default_cluster()
     config = SchedulerConfig()
@@ -110,7 +111,9 @@ def run_fig14(
                              alpha=alpha)
         )
     ]
-    return Fig14Result(outcomes=grid_map(_run_sequence, tasks, jobs=jobs))
+    return Fig14Result(outcomes=run_grid(
+        _run_sequence, tasks, executor=executor, jobs=jobs,
+    ))
 
 
 def format_fig14(result: Fig14Result) -> str:

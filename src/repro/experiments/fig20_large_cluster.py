@@ -19,7 +19,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.config import SimConfig
 from repro.experiments.common import ascii_table, run_all_policies
-from repro.experiments.parallel import grid_map, resolve_jobs
+from repro.experiments.parallel import resolve_jobs, run_grid
 from repro.hardware.topology import ClusterSpec
 from repro.metrics.times import breakdown
 from repro.workloads.trace import SyntheticTraceConfig, synthesize_trace
@@ -93,6 +93,7 @@ def run_fig20(
     trace_config: Optional[SyntheticTraceConfig] = None,
     seed: int = 42,
     jobs: Optional[int] = None,
+    executor: str = "processes",
 ) -> Fig20Result:
     """Replay the trace grid; ``jobs`` workers run points in parallel
     (``None``/1 serial, ``<= 0`` one per CPU) with point order — and
@@ -129,7 +130,9 @@ def run_fig20(
                     )
                 )
         return Fig20Result(points=points)
-    return Fig20Result(points=grid_map(_run_point, tasks, jobs=jobs))
+    return Fig20Result(points=run_grid(
+        _run_point, tasks, executor=executor, jobs=jobs,
+    ))
 
 
 def smoke_trace_config(n_jobs: int = 800,

@@ -1,31 +1,56 @@
-"""Process-parallel experiment grids.
+"""Parallel experiment grids: one entry point, four executors.
 
 The heavy experiments (Figs 14-16, 20, ablations) are embarrassingly
 parallel across their outermost axis: every grid point is an independent
-simulation with its own cluster, jobs, and caches.  :func:`grid_map`
-fans those points out over a ``ProcessPoolExecutor`` while guaranteeing
-the results are *indistinguishable* from a serial run:
+simulation with its own cluster, jobs, and caches.  :func:`run_grid`
+fans those points out while guaranteeing the results are
+*indistinguishable* from a serial run:
 
-* tasks are dispatched and collected in submission order
-  (``executor.map``), so the merged result list is deterministic;
+* tasks are dispatched and collected in submission order, so the merged
+  result list is deterministic;
 * every worker re-derives its inputs from seeds / pickled immutable
-  configs — there is no shared mutable state to race on;
+  configs — there is no shared mutable state to race on (each
+  simulation owns its :class:`~repro.perfmodel.context.PerfContext`,
+  DESIGN.md §9);
 * worker exceptions propagate to the caller exactly as they would
-  serially; only a failure to *create* the pool (e.g. a sandbox without
-  process support) silently falls back to the serial path.
+  serially; only a failure to *create* a process pool (e.g. a sandbox
+  without process support) silently falls back to the serial path.
 
-Pass ``jobs=N`` for N workers, ``jobs<=0`` for one per CPU, or
-``jobs=None``/``1`` (the default everywhere) to stay serial in-process.
+Executors:
+
+``serial``
+    ``[worker(t) for t in tasks]`` — the reference everything else must
+    bit-match.
+``threads``
+    ``ThreadPoolExecutor``; pays off when the workers release the GIL
+    (numpy-heavy batched arbitration) and *proves* the state-ownership
+    refactor — interleaved simulations share no kernel state.
+``processes``
+    ``ProcessPoolExecutor`` with pickled tasks/results — the default
+    fan-out for the figure grids (CLI ``--jobs``).
+``shard``
+    Forked workers writing into preallocated shared-memory result slots
+    (:mod:`repro.experiments.shard`) — zero-copy dispatch for grids
+    whose tasks are closures over large in-memory state.
+
+``jobs`` follows one convention everywhere (:func:`resolve_jobs`):
+``None``/``1`` serial, ``<= 0`` one worker per CPU, else that many.
+
+:func:`grid_map` and :func:`repro.experiments.concurrent.run_grid_threads`
+survive as thin deprecated aliases for one release.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
 R = TypeVar("R")
+
+EXECUTORS = ("serial", "threads", "processes", "shard")
 
 
 def resolve_jobs(jobs: Optional[int]) -> int:
@@ -42,22 +67,41 @@ def resolve_jobs(jobs: Optional[int]) -> int:
     return jobs
 
 
-def grid_map(
+def run_grid(
     worker: Callable[[T], R],
     tasks: Sequence[T],
+    *,
+    executor: str = "serial",
     jobs: Optional[int] = None,
     chunksize: int = 1,
 ) -> List[R]:
-    """Map ``worker`` over ``tasks``, optionally across processes.
+    """Map ``worker`` over ``tasks`` on the chosen executor.
 
-    Results come back in task order regardless of completion order, so
-    ``grid_map(f, ts, jobs=N)`` is a drop-in for ``[f(t) for t in ts]``.
-    ``worker`` and every task must be picklable when ``jobs > 1``.
+    Drop-in for ``[worker(t) for t in tasks]`` under every executor:
+    results come back in task order regardless of completion order, and
+    the values are bit-identical to the serial run (the contract
+    ``tests/test_perf_context.py`` and ``tools/bench_report.py``
+    enforce).  ``worker`` and every task must be picklable for
+    ``executor="processes"``; ``chunksize`` batches pickled dispatch
+    there and is ignored elsewhere.
     """
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r} (choose from {EXECUTORS})"
+        )
     tasks = list(tasks)
     n_workers = resolve_jobs(jobs)
-    if n_workers <= 1 or len(tasks) <= 1:
+    if executor == "serial" or n_workers <= 1 or len(tasks) <= 1:
         return [worker(t) for t in tasks]
+    if executor == "threads":
+        with ThreadPoolExecutor(
+            max_workers=min(n_workers, len(tasks))
+        ) as pool:
+            return list(pool.map(worker, tasks))
+    if executor == "shard":
+        from repro.experiments.shard import run_grid_processes
+
+        return run_grid_processes(worker, tasks, processes=n_workers)
     try:
         pool = ProcessPoolExecutor(max_workers=min(n_workers, len(tasks)))
     except (NotImplementedError, OSError, ValueError):
@@ -66,3 +110,20 @@ def grid_map(
         return [worker(t) for t in tasks]
     with pool:
         return list(pool.map(worker, tasks, chunksize=chunksize))
+
+
+def grid_map(
+    worker: Callable[[T], R],
+    tasks: Sequence[T],
+    jobs: Optional[int] = None,
+    chunksize: int = 1,
+) -> List[R]:
+    """Deprecated alias for ``run_grid(..., executor="processes")``."""
+    warnings.warn(
+        "grid_map is deprecated; use "
+        "run_grid(worker, tasks, executor='processes', jobs=N)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return run_grid(worker, tasks, executor="processes", jobs=jobs,
+                    chunksize=chunksize)

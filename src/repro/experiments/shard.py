@@ -1,12 +1,12 @@
 """Process-sharded experiment grids with shared-memory result buffers.
 
-:func:`run_grid_processes` is the process-level sibling of
-:func:`repro.experiments.concurrent.run_grid_threads`: the grid's tasks
-are sharded round-robin across ``multiprocessing.Process`` workers, and
-every task's result travels back through a preallocated
+:func:`run_grid_processes` backs the ``executor="shard"`` arm of the
+unified :func:`repro.experiments.parallel.run_grid` entry point: the
+grid's tasks are sharded round-robin across ``multiprocessing.Process``
+workers, and every task's result travels back through a preallocated
 ``multiprocessing.shared_memory`` slot instead of a pickle pipe.  The
-differences from :func:`repro.experiments.parallel.grid_map` (the
-``ProcessPoolExecutor`` wrapper) are deliberate:
+differences from ``executor="processes"`` (the ``ProcessPoolExecutor``
+wrapper) are deliberate:
 
 * **forked workers, no executor** — each shard is one plain ``fork``
   child, so the tasks themselves are never pickled: workers inherit the

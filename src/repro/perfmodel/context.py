@@ -26,16 +26,14 @@ are keyed by identity with strong references held and verified with
 slice signature.
 
 Cache mode is resolved once per simulation by
-:func:`resolve_cache_mode`: an explicit ``SimConfig.perf_caches`` wins;
-otherwise the deprecated ``REPRO_DISABLE_PERF_CACHES`` environment
-variable is consulted *at that moment* (not at import time, so setting
-it after ``import repro`` works — with a ``DeprecationWarning``).
+:func:`resolve_cache_mode`: ``SimConfig.perf_caches`` is the only
+control (``None`` means enabled).  The old
+``REPRO_DISABLE_PERF_CACHES`` environment shim was removed after its
+deprecation release; the variable is now ignored.
 """
 
 from __future__ import annotations
 
-import os
-import warnings
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional, Sequence, Tuple
 
@@ -46,29 +44,16 @@ from repro.hardware.node_spec import NodeSpec
 #: this should never trigger outside adversarial workloads).
 MAX_ENTRIES = 1 << 20
 
-#: Deprecated environment kill-switch; ``SimConfig.perf_caches`` is the
-#: supported control.
-ENV_DISABLE = "REPRO_DISABLE_PERF_CACHES"
-
 
 def resolve_cache_mode(perf_caches: Optional[bool] = None) -> bool:
-    """Resolve the cache mode for one simulation, *now*.
+    """Resolve the cache mode for one simulation.
 
-    An explicit ``perf_caches`` (``SimConfig.perf_caches``) wins.  When
-    it is ``None`` the deprecated ``REPRO_DISABLE_PERF_CACHES``
-    environment variable is read at call time — per run, never at
-    import — and a ``DeprecationWarning`` points at the config field.
+    ``SimConfig.perf_caches`` is the sole control: ``None`` (the
+    default) enables the memoized kernels, ``False`` routes every call
+    to the unmemoized reference kernels.
     """
     if perf_caches is not None:
         return bool(perf_caches)
-    if os.environ.get(ENV_DISABLE, "") != "":
-        warnings.warn(
-            f"{ENV_DISABLE} is deprecated; pass "
-            "SimConfig(perf_caches=False) instead",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        return False
     return True
 
 

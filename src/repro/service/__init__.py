@@ -1,0 +1,27 @@
+"""Live scheduler service: the Uberun-style master/daemon split.
+
+The batch simulator replays fixed traces; this package runs the same
+:class:`~repro.sim.runtime.SchedulerCore` as a long-lived master that
+accepts job submissions over TCP (JSON line protocol or minimal HTTP on
+one auto-detected port) and advances simulated time only as submissions
+arrive — wall-clock-decoupled streaming, bit-identical to a batch run
+over the same arrival order.  See DESIGN.md §12.
+
+Entry points: ``repro-sns serve`` / ``repro-sns submit`` (CLI),
+:func:`serve_in_thread` (tests, loadgen), :class:`ServiceClient`.
+"""
+
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.master import (
+    SchedulerMaster,
+    ServiceHandle,
+    serve_in_thread,
+)
+
+__all__ = [
+    "SchedulerMaster",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceHandle",
+    "serve_in_thread",
+]

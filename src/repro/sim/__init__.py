@@ -11,7 +11,12 @@ from repro.sim.job import Job, JobState
 from repro.sim.node import NodeState
 from repro.sim.cluster import ClusterState
 from repro.sim.engine import EventQueue
-from repro.sim.runtime import Simulation, SimulationResult
+from repro.sim.runtime import (
+    SchedulerCore,
+    SimSnapshot,
+    Simulation,
+    SimulationResult,
+)
 from repro.sim.telemetry import TelemetryRecorder
 
 __all__ = [
@@ -20,6 +25,8 @@ __all__ = [
     "NodeState",
     "ClusterState",
     "EventQueue",
+    "SchedulerCore",
+    "SimSnapshot",
     "Simulation",
     "SimulationResult",
     "TelemetryRecorder",

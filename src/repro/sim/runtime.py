@@ -118,6 +118,11 @@ class SimulationResult:
     #: The run's structured tracer (DESIGN.md §10); ``None`` unless the
     #: simulation was constructed with tracing enabled.
     trace: Optional[Tracer] = None
+    #: ``False`` for an incremental in-flight view built by
+    #: :meth:`SchedulerCore.peek_result` (jobs may still be pending or
+    #: running and the makespan is only a lower bound); ``True`` for the
+    #: final result of a finished run.
+    complete: bool = True
 
     @property
     def finished_jobs(self) -> List[Job]:
@@ -168,8 +173,58 @@ class SimulationResult:
         return bad / total if total > 0 else 0.0
 
 
-class Simulation:
-    """One simulated execution of a job sequence under one policy.
+@dataclass(frozen=True)
+class SimSnapshot:
+    """O(1) point-in-time view of an in-flight run.
+
+    Built by :meth:`SchedulerCore.snapshot` for the live service's
+    ``GET /stats`` endpoint; every field reads a counter the core
+    maintains incrementally, so taking a snapshot never scans the job
+    table.
+    """
+
+    #: Virtual time of the last processed event batch.
+    now: float
+    #: Jobs the core knows about (batch-loaded plus streamed in).
+    submitted: int
+    #: Jobs waiting in the scheduler's pending queue.
+    pending: int
+    #: Jobs currently running.
+    running: int
+    #: Jobs that completed successfully.
+    finished: int
+    #: Jobs that exhausted their retry budget (fault injection).
+    failed: int
+    #: Discrete events processed so far.
+    events: int
+    #: Virtual timestamp of the next queued live event, or ``None`` when
+    #: the queue is drained.
+    next_event_time: Optional[float]
+    #: Mean submit-to-finish time over finished jobs so far (``None``
+    #: until the first completion) — the running form of
+    #: :meth:`SimulationResult.mean_turnaround`.
+    mean_turnaround: Optional[float]
+
+
+class SchedulerCore:
+    """The scheduling engine behind both entry points: batch replay
+    (:class:`Simulation`) and the live service (:mod:`repro.service`).
+
+    The event loop comes in two equivalent shapes:
+
+    - **batch** — construct with the full job list and call
+      :meth:`run`, which is exactly ``start(); while step(): pass;
+      finalize()``;
+    - **streaming** — construct with ``jobs=()``, feed arrivals in with
+      :meth:`submit` as they occur, and :meth:`step` one event batch at
+      a time.  The service master steps only while
+      ``next_event_time() <= watermark`` so virtual time never outruns
+      the accepted submissions (wall-clock decoupling, DESIGN.md §12).
+
+    Because the batch loop is the streaming loop run to exhaustion, a
+    streamed run that receives the same jobs in the same arrival order
+    is bit-identical to the batch run — the service's equivalence
+    contract (tests/test_service.py).
 
     ``fault_plan`` injects node failures, recoveries, and profile-store
     outages (see :mod:`repro.faults`).  An empty or absent plan adds no
@@ -180,14 +235,11 @@ class Simulation:
         self,
         cluster_spec: ClusterSpec,
         policy: SchedulerPolicy,
-        jobs: Sequence[Job],
+        jobs: Sequence[Job] = (),
         config: SimConfig = SimConfig(),
         fault_plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
     ) -> None:
-        ids = [j.job_id for j in jobs]
-        if len(set(ids)) != len(ids):
-            raise SimulationError("duplicate job ids")
         # This simulation's perf-model state, created here and injected
         # into every layer below (cluster, policies reach it through
         # ``cluster.ctx``).  Each Simulation owns a fresh context, so
@@ -202,7 +254,7 @@ class Simulation:
         )
         self.policy = policy
         self.config = config
-        self.jobs: Dict[int, Job] = {j.job_id: j for j in jobs}
+        self.jobs: Dict[int, Job] = {}
         self.pending: List[Job] = []
         self.events = EventQueue()
         # Episode telemetry is lazy (DESIGN.md §10): the recorder is
@@ -247,6 +299,13 @@ class Simulation:
         # past the last completion), so the loop stops once every job is
         # accounted for instead of draining pointless fault events.
         self._terminal = 0
+        # Running sum of finished jobs' turnaround times, so snapshot()
+        # reports the mean without scanning the job table.
+        self._turnaround_sum = 0.0
+        # Streaming lifecycle flags: start() is idempotent, finalize()
+        # closes telemetry exactly once.
+        self._started = False
+        self._finalized = False
         self.fault_plan = fault_plan
         self._has_faults = bool(fault_plan)
         self._retry = fault_plan.retry if fault_plan is not None \
@@ -270,21 +329,21 @@ class Simulation:
                 self.events.push_fault(outage.start, EventKind.PROFILE_DOWN)
                 self.events.push_fault(outage.end, EventKind.PROFILE_UP)
         for job in jobs:
-            self.events.push_submit(job.submit_time, job.job_id)
+            self.submit(job)
 
     @classmethod
     def from_policy_name(
         cls,
         policy_name: str,
         cluster_spec: ClusterSpec,
-        jobs: Sequence[Job],
+        jobs: Sequence[Job] = (),
         *,
         scheduler_config: SchedulerConfig = SchedulerConfig(),
         sim_config: SimConfig = SimConfig(),
         database=None,
         fault_plan: Optional[FaultPlan] = None,
         tracer: Optional[Tracer] = None,
-    ) -> "Simulation":
+    ) -> "SchedulerCore":
         """Construct a simulation from a policy *name* (a key of
         :data:`repro.scheduling.POLICIES`).  Every policy is built
         through the uniform ``(cluster_spec, config, *, database=None)``
@@ -297,10 +356,59 @@ class Simulation:
         return cls(cluster_spec, policy, jobs, sim_config,
                    fault_plan=fault_plan, tracer=tracer)
 
-    # ------------------------------------------------------------------ run
+    # ---------------------------------------------------- streaming facade
 
-    def run(self) -> SimulationResult:
-        """Execute to completion and return the result.
+    def submit(self, job: Job) -> None:
+        """Register one job and queue its submission event.
+
+        Valid both before :meth:`start` (batch construction does exactly
+        this for every preloaded job) and between :meth:`step` calls
+        (streaming mode: the service master feeds arrivals in while the
+        loop is live).  The submit time must not lie in the core's past;
+        wall-clock-decoupled callers clamp it to a non-decreasing
+        watermark before calling.
+        """
+        if job.job_id in self.jobs:
+            raise SimulationError("duplicate job ids")
+        self.events.push_submit(job.submit_time, job.job_id)
+        self.jobs[job.job_id] = job
+
+    def start(self) -> None:
+        """Open the run: allocate episode telemetry and emit the
+        tracer's meta record.  Idempotent; :meth:`step` calls it, so
+        explicit use is only needed to force allocation early."""
+        if self._started:
+            return
+        self._started = True
+        if self.config.telemetry and self.telemetry is None:
+            self.telemetry = TelemetryRecorder(len(self.cluster.nodes))
+        if self.telemetry is not None:
+            for nid in range(len(self.cluster.nodes)):
+                self.telemetry.record(nid, 0.0, 0.0)
+        if self.tracer is not None:
+            self.tracer.meta(
+                policy=type(self.policy).__name__,
+                partitioned=self.policy.partitioned,
+                num_nodes=len(self.cluster.nodes),
+                cores=self._spec.cores,
+                llc_ways=self._spec.llc_ways,
+                peak_bw=self._spec.peak_bw,
+                n_jobs=len(self.jobs),
+            )
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (the clock of the last processed event)."""
+        return self.events.now
+
+    def next_event_time(self) -> Optional[float]:
+        """Timestamp of the next live queued event, or ``None`` when the
+        queue is drained — the watermark comparison point for
+        wall-clock-decoupled stepping."""
+        return self.events.peek_time()
+
+    def step(self) -> bool:
+        """Process one event batch; ``False`` when nothing remains.
 
         Events at an identical timestamp (trace submit bursts, finish
         storms) are drained into one batch: each event still gets its
@@ -315,106 +423,147 @@ class Simulation:
         per-event loops are bit-identical; with
         ``SimConfig(perf_caches=False)`` the per-event reference loop
         runs.
+
+        Returns ``False`` without popping when the workload is complete
+        under a fault plan (leftover fault events cannot change anything
+        and would only inflate the makespan) — a later :meth:`submit`
+        reopens the workload and stepping resumes.
         """
-        if self.config.telemetry and self.telemetry is None:
-            self.telemetry = TelemetryRecorder(len(self.cluster.nodes))
-        if self.telemetry is not None:
-            for nid in range(len(self.cluster.nodes)):
-                self.telemetry.record(nid, 0.0, 0.0)
+        self.start()
+        if (
+            self._has_faults
+            and self._counters["event_batches"] > 0
+            and self._terminal == len(self.jobs)
+        ):
+            return False
+        event = self.events.pop()
+        if event is None:
+            return False
         tracer = self.tracer
         trace_full = tracer is not None \
             and tracer.level >= TraceLevel.FULL
-        if tracer is not None:
-            tracer.meta(
-                policy=type(self.policy).__name__,
-                partitioned=self.policy.partitioned,
-                num_nodes=len(self.cluster.nodes),
-                cores=self._spec.cores,
-                llc_ways=self._spec.llc_ways,
-                peak_bw=self._spec.peak_bw,
-                n_jobs=len(self.jobs),
-            )
         coalesce = self.ctx.enabled
+        now = self.events.now
+        if now > self.config.max_sim_time:
+            raise SimulationError("simulation exceeded max_sim_time")
+        events = [event]
+        affected: Set[int] = set()
+        touched: Set[int] = set()
+        ev = event
         while True:
-            event = self.events.pop()
-            if event is None:
+            if ev.kind is EventKind.JOB_SUBMIT:
+                job = self.jobs[ev.job_id]
+                if tracer is not None:
+                    tracer.submit(now, job)
+                self.pending.append(job)
+            elif ev.kind is EventKind.JOB_FINISH:
+                self._finish_job(self.jobs[ev.job_id], now,
+                                 affected, touched)
+            elif ev.kind is EventKind.NODE_FAIL:
+                self._handle_node_fail(ev.job_id, now,
+                                       affected, touched)
+            elif ev.kind is EventKind.NODE_RECOVER:
+                self._handle_node_recover(ev.job_id)
+                if tracer is not None:
+                    tracer.node_recover(now, ev.job_id)
+            else:  # PROFILE_DOWN / PROFILE_UP
+                self._handle_profile_event(ev.kind)
+                if tracer is not None:
+                    tracer.profile_store(
+                        now, ev.kind is EventKind.PROFILE_UP
+                    )
+            self._scheduling_point(now, affected, touched)
+            if not coalesce:
                 break
-            now = self.events.now
-            if now > self.config.max_sim_time:
-                raise SimulationError("simulation exceeded max_sim_time")
-            events = [event]
-            affected: Set[int] = set()
-            touched: Set[int] = set()
-            ev = event
-            while True:
-                if ev.kind is EventKind.JOB_SUBMIT:
-                    job = self.jobs[ev.job_id]
-                    if tracer is not None:
-                        tracer.submit(now, job)
-                    self.pending.append(job)
-                elif ev.kind is EventKind.JOB_FINISH:
-                    self._finish_job(self.jobs[ev.job_id], now,
-                                     affected, touched)
-                elif ev.kind is EventKind.NODE_FAIL:
-                    self._handle_node_fail(ev.job_id, now,
-                                           affected, touched)
-                elif ev.kind is EventKind.NODE_RECOVER:
-                    self._handle_node_recover(ev.job_id)
-                    if tracer is not None:
-                        tracer.node_recover(now, ev.job_id)
-                else:  # PROFILE_DOWN / PROFILE_UP
-                    self._handle_profile_event(ev.kind)
-                    if tracer is not None:
-                        tracer.profile_store(
-                            now, ev.kind is EventKind.PROFILE_UP
-                        )
-                self._scheduling_point(now, affected, touched)
-                if not coalesce:
+            # Finishes drain first (EventKind.JOB_FINISH orders ahead
+            # of every other kind at equal timestamps), but only for
+            # jobs this batch has not touched: an affected job's
+            # finish must be re-judged after the batch's refresh
+            # re-versions it.  If such a finish heads the queue the
+            # batch ENDS — falling through to the submit drain would
+            # process submits the unbatched loop orders *after* the
+            # re-pushed finish.
+            nxt, blocked = self.events.pop_finish_at(now, affected)
+            if nxt is None:
+                if blocked:
                     break
-                # Finishes drain first (EventKind.JOB_FINISH orders ahead
-                # of every other kind at equal timestamps), but only for
-                # jobs this batch has not touched: an affected job's
-                # finish must be re-judged after the batch's refresh
-                # re-versions it.  If such a finish heads the queue the
-                # batch ENDS — falling through to the submit drain would
-                # process submits the unbatched loop orders *after* the
-                # re-pushed finish.
-                nxt, blocked = self.events.pop_finish_at(now, affected)
+                nxt = self.events.pop_submit_at(now)
                 if nxt is None:
-                    if blocked:
-                        break
-                    nxt = self.events.pop_submit_at(now)
-                    if nxt is None:
-                        break
-                events.append(nxt)
-                ev = nxt
-            self._events_processed += len(events)
-            self._counters["event_batches"] += 1
-            self._counters["events_coalesced"] += len(events) - 1
-            if trace_full:
-                tracer.batch(now, [e.kind.label for e in events])
-            self._refresh(affected, touched, now)
-            self._check_liveness()
-            if self._has_faults and self._terminal == len(self.jobs):
-                # Workload done: leftover fault events cannot change
-                # anything and would only inflate the makespan.
-                break
+                    break
+            events.append(nxt)
+            ev = nxt
+        self._events_processed += len(events)
+        self._counters["event_batches"] += 1
+        self._counters["events_coalesced"] += len(events) - 1
+        if trace_full:
+            tracer.batch(now, [e.kind.label for e in events])
+        self._refresh(affected, touched, now)
+        self._check_liveness()
+        return True
+
+    def snapshot(self) -> SimSnapshot:
+        """O(1) view of the in-flight run (``GET /stats``)."""
+        finished = self._terminal - self._counters["jobs_failed"]
+        return SimSnapshot(
+            now=self.events.now,
+            submitted=len(self.jobs),
+            pending=len(self.pending),
+            running=self._running,
+            finished=finished,
+            failed=self._counters["jobs_failed"],
+            events=self._events_processed,
+            next_event_time=self.events.peek_time(),
+            mean_turnaround=(
+                self._turnaround_sum / finished if finished else None
+            ),
+        )
+
+    def peek_result(self) -> SimulationResult:
+        """Incremental :class:`SimulationResult` over in-flight state
+        (``complete=False``): same accessors as the final result, but
+        jobs may still be pending or running, the makespan is the
+        current virtual time, and telemetry is left open."""
+        return SimulationResult(
+            jobs=list(self.jobs.values()),
+            makespan=self.events.now,
+            telemetry=self.telemetry,
+            events=self._events_processed,
+            counters=self._collect_counters(),
+            trace=self.tracer,
+            complete=False,
+        )
+
+    def finalize(self) -> SimulationResult:
+        """Close the run and build the final result; raises when pending
+        jobs can never be scheduled (deadlock)."""
         if self.pending:
             raise SimulationError(
                 f"{len(self.pending)} jobs never scheduled (deadlock): "
                 f"{[j.job_id for j in self.pending[:5]]}"
             )
         makespan = self.events.now
-        if self.telemetry is not None:
+        if self.telemetry is not None and not self._finalized:
             self.telemetry.close(makespan)
+        self._finalized = True
         return SimulationResult(
             jobs=list(self.jobs.values()),
             makespan=makespan,
             telemetry=self.telemetry,
             events=self._events_processed,
             counters=self._collect_counters(),
-            trace=tracer,
+            trace=self.tracer,
         )
+
+    # ------------------------------------------------------------------ run
+
+    def run(self) -> SimulationResult:
+        """Execute to completion and return the result — exactly the
+        streaming loop driven to exhaustion, so batch replay and the
+        live service share every line of the event loop."""
+        self.start()
+        while self.step():
+            pass
+        return self.finalize()
 
     def _collect_counters(self) -> Dict[str, int]:
         """Aggregate instrumentation: runtime loop + cluster arbitration
@@ -461,6 +610,7 @@ class Simulation:
         self._job_conds.pop(job.job_id, None)
         self._running -= 1
         self._terminal += 1
+        self._turnaround_sum += job.turnaround_time
         touched.update(placement.node_ids)
         affected.update(residents)
         affected.discard(job.job_id)
@@ -956,3 +1106,15 @@ class Simulation:
         if congestion > 1.0:
             comm_time *= congestion
         return compute_time + comm_time
+
+
+class Simulation(SchedulerCore):
+    """One simulated execution of a preloaded job sequence under one
+    policy — the batch facade over :class:`SchedulerCore`.
+
+    Nothing is overridden: construct with the complete job list and call
+    :meth:`SchedulerCore.run`.  The name survives as the entry point the
+    experiment harnesses, grid runners, and tests build, while the
+    streaming surface (``submit`` / ``step`` / ``snapshot``) lives on
+    the core for the live service.
+    """

@@ -6,8 +6,6 @@ tests."""
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
 from repro.apps.catalog import get_program
@@ -17,12 +15,6 @@ from repro.scheduling.ce import CompactExclusiveScheduler
 from repro.scheduling.sns import SpreadNShareScheduler
 from repro.sim.job import Job
 from repro.sim.runtime import Simulation
-
-
-def env_forces_reference() -> bool:
-    """Whether the deprecated kill-switch pins default-mode runs to the
-    reference path (the CI reference job exports it)."""
-    return os.environ.get("REPRO_DISABLE_PERF_CACHES", "") != ""
 
 
 def burst_jobs(k: int = 8, at: float = 0.0):

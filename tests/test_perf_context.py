@@ -1,22 +1,17 @@
 """PerfContext ownership: per-simulation kernel state, eviction policy,
-stats plumbing, env-var deprecation, and thread-interleaved bit-identity
-(DESIGN.md §9)."""
+stats plumbing, cache-mode resolution, and thread-interleaved
+bit-identity (DESIGN.md §9)."""
 
 from __future__ import annotations
-
-import warnings
 
 import pytest
 
 from repro.apps.catalog import get_program
 from repro.config import SimConfig
 from repro.experiments.concurrent import run_grid_threads
+from repro.experiments.parallel import run_grid
 from repro.hardware.topology import ClusterSpec
-from repro.perfmodel.context import (
-    ENV_DISABLE,
-    PerfContext,
-    resolve_cache_mode,
-)
+from repro.perfmodel.context import PerfContext, resolve_cache_mode
 from repro.sim.job import Job
 from repro.sim.runtime import Simulation
 from repro.workloads.sequences import random_sequence
@@ -147,37 +142,24 @@ class TestStatsPlumbing:
 
 
 class TestCacheModeResolution:
-    def test_explicit_field_wins_over_env(self, monkeypatch):
-        monkeypatch.setenv(ENV_DISABLE, "1")
-        with warnings.catch_warnings():
-            warnings.simplefilter("error")  # the env var must NOT be read
-            assert resolve_cache_mode(True) is True
-            assert resolve_cache_mode(False) is False
+    def test_explicit_field_wins(self):
+        assert resolve_cache_mode(True) is True
+        assert resolve_cache_mode(False) is False
 
-    def test_env_applies_with_deprecation_warning(self, monkeypatch):
-        monkeypatch.setenv(ENV_DISABLE, "1")
-        with pytest.warns(DeprecationWarning, match="perf_caches"):
-            assert resolve_cache_mode(None) is False
-
-    def test_default_is_enabled(self, monkeypatch):
-        monkeypatch.delenv(ENV_DISABLE, raising=False)
+    def test_default_is_enabled(self):
         assert resolve_cache_mode(None) is True
 
-    def test_env_resolved_at_construction_not_import(self, monkeypatch):
-        """Setting the env var after import must still affect a new
-        Simulation (the old import-time read ignored it)."""
-        monkeypatch.setenv(ENV_DISABLE, "1")
+    def test_env_shim_is_gone(self, monkeypatch):
+        """The deprecated ``REPRO_DISABLE_PERF_CACHES`` kill-switch was
+        removed after its one deprecation cycle; the variable is now
+        ignored and ``SimConfig.perf_caches`` is the only control."""
+        monkeypatch.setenv("REPRO_DISABLE_PERF_CACHES", "1")
+        assert resolve_cache_mode(None) is True
         spec = ClusterSpec(num_nodes=1)
         jobs = [Job(job_id=0, program=get_program("EP"), procs=8)]
-        with pytest.warns(DeprecationWarning):
-            sim = Simulation.from_policy_name("CE", spec, jobs,
-                                              sim_config=SimConfig())
-        assert sim.ctx.enabled is False
-        monkeypatch.delenv(ENV_DISABLE)
-        jobs2 = [Job(job_id=0, program=get_program("EP"), procs=8)]
-        sim2 = Simulation.from_policy_name("CE", spec, jobs2,
-                                           sim_config=SimConfig())
-        assert sim2.ctx.enabled is True
+        sim = Simulation.from_policy_name("CE", spec, jobs,
+                                          sim_config=SimConfig())
+        assert sim.ctx.enabled is True
 
     def test_memo_facade_is_gone(self):
         """The deprecated process-global ``perfmodel.memo`` facade was
@@ -213,14 +195,14 @@ class TestThreadInterleaving:
     def test_threaded_grid_matches_serial(self, caches):
         tasks = [(seed, caches) for seed in (1, 5, 9, 13)]
         serial = [_run_point(t) for t in tasks]
-        threaded = run_grid_threads(_run_point, tasks, threads=4)
+        threaded = run_grid(_run_point, tasks, executor="threads", jobs=4)
         assert threaded == serial
 
     def test_mixed_cache_modes_interleave_safely(self):
         """Fast and reference simulations running concurrently cannot
         flip each other's mode — and both match their serial twins."""
         tasks = [(7, True), (7, False), (21, True), (21, False)]
-        threaded = run_grid_threads(_run_point, tasks, threads=4)
+        threaded = run_grid(_run_point, tasks, executor="threads", jobs=4)
         serial = [_run_point(t) for t in tasks]
         assert threaded == serial
         # Same seed, different mode: still bit-identical results.
@@ -229,7 +211,7 @@ class TestThreadInterleaving:
 
     def test_serial_fallback_and_order(self):
         tasks = [(3, True), (4, True)]
-        assert run_grid_threads(_run_point, tasks, threads=1) == \
+        assert run_grid(_run_point, tasks, executor="threads", jobs=1) == \
             [_run_point(t) for t in tasks]
 
     def test_worker_exception_propagates(self):
@@ -237,4 +219,11 @@ class TestThreadInterleaving:
             raise ValueError(f"boom {task}")
 
         with pytest.raises(ValueError):
-            run_grid_threads(boom, [1, 2], threads=2)
+            run_grid(boom, [1, 2], executor="threads", jobs=2)
+
+    def test_run_grid_threads_alias_deprecated(self):
+        tasks = [(3, True), (4, True)]
+        with pytest.warns(DeprecationWarning,
+                          match="run_grid_threads is deprecated"):
+            threaded = run_grid_threads(_run_point, tasks, threads=2)
+        assert threaded == [_run_point(t) for t in tasks]

@@ -14,7 +14,7 @@ from repro.experiments.ablations import run_ablation
 from repro.experiments.common import run_all_policies
 from repro.experiments.fig14_throughput import run_fig14
 from repro.experiments.fig20_large_cluster import run_fig20
-from repro.experiments.parallel import grid_map, resolve_jobs
+from repro.experiments.parallel import grid_map, resolve_jobs, run_grid
 from repro.hardware.topology import ClusterSpec
 from repro.perfmodel.context import PerfContext
 from repro.sim.cluster import ClusterState
@@ -280,7 +280,7 @@ class TestArbitrationCacheInvalidation:
 
 
 class TestParallelGrid:
-    """grid_map fans out deterministically and falls back serially."""
+    """run_grid fans out deterministically and falls back serially."""
 
     def test_resolve_jobs(self):
         assert resolve_jobs(None) == 1
@@ -290,17 +290,33 @@ class TestParallelGrid:
         assert resolve_jobs(-1) >= 1
 
     def test_results_in_task_order(self):
-        assert grid_map(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
+        assert run_grid(_square, [3, 1, 2],
+                        executor="processes", jobs=2) == [9, 1, 4]
 
     def test_serial_path_identical(self):
         tasks = list(range(5))
-        assert grid_map(_square, tasks) == [_square(t) for t in tasks]
+        assert run_grid(_square, tasks) == [_square(t) for t in tasks]
+
+    def test_executors_agree(self):
+        tasks = [4, 2, 7, 1]
+        serial = run_grid(_square, tasks)
+        for executor in ("threads", "processes", "shard"):
+            assert run_grid(_square, tasks, executor=executor,
+                            jobs=2) == serial
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError, match="unknown executor"):
+            run_grid(_square, [1, 2], executor="fibers", jobs=2)
 
     def test_worker_exception_propagates(self):
         with pytest.raises(ValueError):
-            grid_map(_explode, [1, 2], jobs=2)
+            run_grid(_explode, [1, 2], executor="processes", jobs=2)
         with pytest.raises(ValueError):
-            grid_map(_explode, [1, 2])
+            run_grid(_explode, [1, 2])
+
+    def test_grid_map_alias_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="grid_map is deprecated"):
+            assert grid_map(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
 
     def test_fig14_parallel_matches_serial(self):
         serial = run_fig14(n_sequences=2)

@@ -21,7 +21,7 @@ import pytest
 
 from repro.config import SimConfig, TraceConfig
 from repro.experiments.common import run_policy
-from repro.experiments.concurrent import run_grid_threads
+from repro.experiments.parallel import run_grid
 from repro.hardware.topology import ClusterSpec
 from repro.obs import decision_stream, read_jsonl, trace_lines, verify_trace
 from repro.workloads.sequences import random_sequence
@@ -74,9 +74,9 @@ class TestGoldenTrace:
         """Four copies interleaved on a thread pool each reproduce the
         committed stream (per-simulation tracer + perf context: no
         shared observability state to race on)."""
-        streams = run_grid_threads(
+        streams = run_grid(
             lambda caches: golden_lines(caches=caches),
-            [None, False, None, False], threads=4,
+            [None, False, None, False], executor="threads", jobs=4,
         )
         for stream in streams:
             assert stream == committed

@@ -23,8 +23,9 @@ coalesced events, skip-index hits, nodes scanned — see DESIGN.md §7),
 plus the grid total.  Existing entries under other labels are
 preserved, so a before/after pair can live side by side.
 
-``--threads N`` runs the grid on the thread-based runner
-(:func:`repro.experiments.concurrent.run_grid_threads`): every
+``--threads N`` runs the grid on the thread executor of the unified
+runner (:func:`repro.experiments.parallel.run_grid` with
+``executor="threads"``): every
 simulation owns a private :class:`~repro.perfmodel.context.PerfContext`,
 so interleaved runs must be bit-identical to serial ones — the
 divergence gate below enforces exactly that against any serial entry
@@ -52,11 +53,13 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.config import SimConfig, TraceConfig         # noqa: E402
 from repro.experiments.common import run_all_policies   # noqa: E402
-from repro.experiments.concurrent import run_grid_threads  # noqa: E402
 from repro.experiments.fig20_large_cluster import (     # noqa: E402
     smoke_trace_config,
 )
-from repro.experiments.shard import run_grid_processes  # noqa: E402
+# Renamed import: this script's own run_grid() is the benchmark driver.
+from repro.experiments.parallel import (                # noqa: E402
+    run_grid as run_grid_tasks,
+)
 from repro.hardware.topology import ClusterSpec         # noqa: E402
 from repro.obs import verify_trace, write_chrome_trace  # noqa: E402
 from repro.workloads.trace import (                     # noqa: E402
@@ -145,9 +148,10 @@ def run_grid(caches: bool = True, threads: int = 1, processes: int = 1,
              chrome_out: Optional[str] = None, full: bool = False) -> dict:
     """Run the smoke grid once; returns the BENCH_sim entry payload.
 
-    ``threads > 1`` interleaves the grid points on a thread pool and
-    ``processes > 1`` shards them across forked worker processes
-    (:func:`repro.experiments.shard.run_grid_processes`); either way the
+    ``threads > 1`` interleaves the grid points on a thread pool
+    (``run_grid(..., executor="threads")``) and ``processes > 1``
+    shards them across forked worker processes
+    (``executor="shard"``); either way the
     per-config results are bit-identical to a serial run by the
     state-ownership contract (DESIGN.md §9).  ``trace=True`` runs every
     grid point with a full-level tracer and replays each trace through
@@ -178,11 +182,13 @@ def run_grid(caches: bool = True, threads: int = 1, processes: int = 1,
     tasks = [tuple(t) for t in tasks]
     start = time.perf_counter()
     if processes > 1:
-        configs = run_grid_processes(_run_one, tasks, processes=processes)
+        configs = run_grid_tasks(_run_one, tasks, executor="shard",
+                                 jobs=processes)
     elif threads > 1:
-        configs = run_grid_threads(_run_one, tasks, threads=threads)
+        configs = run_grid_tasks(_run_one, tasks, executor="threads",
+                                 jobs=threads)
     else:
-        configs = [_run_one(t) for t in tasks]
+        configs = run_grid_tasks(_run_one, tasks)
     elapsed = time.perf_counter() - start
     total_events = sum(c["events"] for c in configs)
     if verbose:
