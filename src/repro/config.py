@@ -57,6 +57,12 @@ class SchedulerConfig:
     #: Manage the inter-node network link as a third booked resource —
     #: the orthogonal dimension Section 3.3 says SNS accommodates.
     manage_network: bool = False
+    #: Locality-aware spreading on a leaf-spine fabric (DESIGN.md §13):
+    #: node selection fills within one rack before crossing the spine
+    #: and breaks occupancy-metric ties toward racks contributing more
+    #: candidates.  Inert (bit-identical placement) when the cluster has
+    #: no active fabric, so the default never perturbs flat runs.
+    locality_aware: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.default_alpha <= 1.0:

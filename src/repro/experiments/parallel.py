@@ -35,15 +35,11 @@ Executors:
 
 ``jobs`` follows one convention everywhere (:func:`resolve_jobs`):
 ``None``/``1`` serial, ``<= 0`` one worker per CPU, else that many.
-
-:func:`grid_map` and :func:`repro.experiments.concurrent.run_grid_threads`
-survive as thin deprecated aliases for one release.
 """
 
 from __future__ import annotations
 
 import os
-import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
@@ -110,20 +106,3 @@ def run_grid(
         return [worker(t) for t in tasks]
     with pool:
         return list(pool.map(worker, tasks, chunksize=chunksize))
-
-
-def grid_map(
-    worker: Callable[[T], R],
-    tasks: Sequence[T],
-    jobs: Optional[int] = None,
-    chunksize: int = 1,
-) -> List[R]:
-    """Deprecated alias for ``run_grid(..., executor="processes")``."""
-    warnings.warn(
-        "grid_map is deprecated; use "
-        "run_grid(worker, tasks, executor='processes', jobs=N)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return run_grid(worker, tasks, executor="processes", jobs=jobs,
-                    chunksize=chunksize)

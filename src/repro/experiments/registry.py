@@ -28,6 +28,7 @@ from repro.experiments import (
     fig18_histogram,
     fig19_scaling_ratio,
     fig20_large_cluster,
+    fig_oversub,
 )
 
 
@@ -116,6 +117,12 @@ EXPERIMENTS: Dict[str, Experiment] = {
             "scaling_ratios": (0.9,),
             "trace_config": fig20_large_cluster.smoke_trace_config(),
         },
+        parallel=True,
+    ),
+    "fig_oversub": Experiment(
+        "leaf-spine oversubscription sweep (CE/CS/SNS +- locality)",
+        fig_oversub.run_fig_oversub, fig_oversub.format_fig_oversub,
+        {"oversub_ratios": (1.0, 4.0), "n_jobs": 40},
         parallel=True,
     ),
     "online": Experiment(

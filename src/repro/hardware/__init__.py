@@ -7,6 +7,7 @@ against the numbers the paper reports (see DESIGN.md Section 5).
 
 from repro.hardware.membw import BandwidthModel
 from repro.hardware.cache import CacheModel, WayLedger
+from repro.hardware.fabric import FabricSpec
 from repro.hardware.network import NetworkModel
 from repro.hardware.node_spec import NodeSpec
 from repro.hardware.topology import ClusterSpec
@@ -14,6 +15,7 @@ from repro.hardware.topology import ClusterSpec
 __all__ = [
     "BandwidthModel",
     "CacheModel",
+    "FabricSpec",
     "WayLedger",
     "NetworkModel",
     "NodeSpec",

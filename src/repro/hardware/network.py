@@ -16,6 +16,15 @@ from repro import units
 from repro.errors import HardwareModelError
 
 
+def validate_link(link_bw: float, latency_us: float) -> None:
+    """Shared link-parameter validation (used here and by
+    :class:`repro.hardware.fabric.FabricSpec`)."""
+    if link_bw <= 0:
+        raise HardwareModelError("link bandwidth must be positive")
+    if latency_us < 0:
+        raise HardwareModelError("latency must be non-negative")
+
+
 @dataclass(frozen=True)
 class NetworkModel:
     """Flat full-bisection interconnect.
@@ -32,18 +41,26 @@ class NetworkModel:
     latency_us: float = 1.5
 
     def __post_init__(self) -> None:
-        if self.link_bw <= 0:
-            raise HardwareModelError("link bandwidth must be positive")
-        if self.latency_us < 0:
-            raise HardwareModelError("latency must be non-negative")
+        validate_link(self.link_bw, self.latency_us)
 
     def transfer_time(self, volume_gb: float, n_messages: int = 1) -> float:
         """Seconds to move ``volume_gb`` of data off-node as ``n_messages``
-        messages (bandwidth term plus per-message latency)."""
+        messages (bandwidth term plus per-message latency).
+
+        Every byte moved belongs to some message, so ``n_messages == 0``
+        is only meaningful for ``volume_gb == 0`` (no transfer at all);
+        a nonzero volume with zero messages would silently drop the
+        latency term and is rejected.
+        """
         if volume_gb < 0:
             raise HardwareModelError("volume must be non-negative")
         if n_messages < 0:
             raise HardwareModelError("message count must be non-negative")
+        if n_messages == 0 and volume_gb > 0:
+            raise HardwareModelError(
+                "nonzero volume needs at least one message "
+                "(n_messages=0 would drop the latency term)"
+            )
         return volume_gb / self.link_bw + n_messages * self.latency_us * 1e-6
 
     def relative_to_memory(self, node_peak_bw: float) -> float:

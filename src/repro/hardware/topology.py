@@ -9,17 +9,26 @@ count plus one homogeneous :class:`NodeSpec`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.errors import ConfigError
+from repro.hardware.fabric import FabricSpec
 from repro.hardware.node_spec import NodeSpec
 
 
 @dataclass(frozen=True)
 class ClusterSpec:
-    """Homogeneous cluster: ``num_nodes`` identical nodes."""
+    """Homogeneous cluster: ``num_nodes`` identical nodes.
+
+    ``fabric`` optionally attaches a leaf-spine interconnect
+    (:class:`~repro.hardware.fabric.FabricSpec`); ``None`` keeps the
+    paper's flat full-bisection network, and a flat fabric
+    (oversubscription 1:1) is contractually bit-identical to ``None``.
+    """
 
     num_nodes: int = 8
     node: NodeSpec = field(default_factory=NodeSpec)
+    fabric: Optional[FabricSpec] = None
 
     def __post_init__(self) -> None:
         if self.num_nodes <= 0:

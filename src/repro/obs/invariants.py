@@ -22,7 +22,12 @@ observable contracts of the runtime:
 - goodput + badput == total charged node-seconds: every run interval
   is attributed, ``finish.node_s`` / ``evict.lost_node_s`` equal the
   interval's span times its width;
-- at end of trace nothing is pending, running, or awaiting resubmit.
+- at end of trace nothing is pending, running, or awaiting resubmit;
+- every ``links`` record (events level, fabric runs only) equals a
+  from-scratch recomputation of the ToR/spine utilizations from the
+  cross-rack jobs running at that instant — *exact* float equality,
+  because the runtime derives them with the same deterministic
+  arithmetic the replay uses (link conservation, DESIGN.md §13).
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Set
 
 from repro.errors import SimulationError
+from repro.hardware.fabric import FabricSpec
 
 from repro.obs.trace import decision_stream
 
@@ -265,6 +271,80 @@ def check_trace(events: List[dict]) -> List[str]:
             f"goodput+badput {attributed:.6g} != charged node-seconds "
             f"{charged:.6g}"
         )
+    errors.extend(_check_fabric(events))
+    return errors
+
+
+def _check_fabric(events: List[dict]) -> List[str]:
+    """Link conservation (DESIGN.md §13): replay the cross-rack running
+    set from the decision records and demand that every ``links`` record
+    matches a from-scratch recomputation of the ToR uplink and spine
+    utilizations — exactly, not approximately: the runtime accumulates
+    loads in sorted-job-id order with a fixed operation sequence
+    (:meth:`repro.sim.runtime.SchedulerCore._recompute_fabric_loads`)
+    precisely so this replay reproduces every float bit-for-bit (JSON
+    round-trips of float64 are exact)."""
+    meta = None
+    for event in events:
+        if event["ev"] == "meta":
+            meta = event
+            break
+    if meta is None or "fabric" not in meta:
+        if any(e["ev"] == "links" for e in events):
+            return ["links records present in a trace whose meta "
+                    "declares no fabric"]
+        return []
+    fabric = FabricSpec(
+        rack_size=meta["fabric"]["rack_size"],
+        oversubscription=meta["fabric"]["oversub"],
+    )
+    num_nodes = meta["nodes"]
+    num_racks = fabric.num_racks(num_nodes)
+    pop = [int(p) for p in fabric.rack_population(num_nodes)]
+    errors: List[str] = []
+    # job -> (xfrac, n_nodes, [(rack, nodes-in-rack), ...]) for running
+    # cross-rack jobs, mirroring the runtime's _cross_jobs.
+    cross: Dict[int, tuple] = {}
+    for event in events:
+        kind = event["ev"]
+        if kind == "start":
+            xfrac = event.get("xfrac")
+            if xfrac is None:
+                continue
+            nodes = event["nodes"]
+            counts: Dict[int, int] = {}
+            for nid in nodes:
+                r = fabric.rack_of(nid)
+                counts[r] = counts.get(r, 0) + 1
+            cross[event["job"]] = (xfrac, len(nodes),
+                                   sorted(counts.items()))
+        elif kind in ("finish", "evict"):
+            cross.pop(event["job"], None)
+        elif kind == "links":
+            tor = [0.0] * num_racks
+            for jid in sorted(cross):
+                frac, n, rack_counts = cross[jid]
+                for r, s in rack_counts:
+                    tor[r] += frac * ((n - s) / (n - 1)) * s
+            spine = 0.0
+            for load in tor:
+                spine += load
+            tor_util = [
+                fabric.tor_utilization(tor[r], pop[r])
+                for r in range(num_racks)
+            ]
+            spine_util = fabric.spine_utilization(spine, num_nodes)
+            if list(event["tor"]) != tor_util:
+                errors.append(
+                    f"t={event['t']:.6g} links: recorded ToR "
+                    f"utilizations diverge from the replay"
+                )
+            if event["spine"] != spine_util:
+                errors.append(
+                    f"t={event['t']:.6g} links: recorded spine "
+                    f"utilization {event['spine']!r} != replayed "
+                    f"{spine_util!r}"
+                )
     return errors
 
 

@@ -162,18 +162,24 @@ class Tracer:
 
     def meta(self, *, policy: str, partitioned: bool, num_nodes: int,
              cores: int, llc_ways: int, peak_bw: float,
-             n_jobs: int) -> None:
+             n_jobs: int, fabric: Optional[dict] = None) -> None:
         """Header record: the run's static facts, consumed by the
         invariant checker and the exporters.  Deliberately carries no
         trace level, so the decision stream is byte-identical at every
         level (the golden-trace contract); exporters infer the level
-        from which record kinds are present."""
-        self.events.append({
+        from which record kinds are present.  ``fabric`` (rack size and
+        oversubscription ratio) is recorded only when the cluster runs
+        an active leaf-spine fabric, so flat-fabric traces stay
+        byte-identical to fabric-less ones."""
+        record = {
             "ev": "meta", "t": 0.0, "policy": policy,
             "partitioned": partitioned, "nodes": num_nodes,
             "cores": cores, "llc_ways": llc_ways, "peak_bw": peak_bw,
             "jobs": n_jobs,
-        })
+        }
+        if fabric is not None:
+            record["fabric"] = fabric
+        self.events.append(record)
 
     def submit(self, t: float, job) -> None:
         """A job (re-)entered the pending queue; ``attempt`` counts
@@ -185,14 +191,19 @@ class Tracer:
         })
 
     def start(self, t: float, job, decision,
-              partners: Iterable[int]) -> None:
+              partners: Iterable[int],
+              xfrac: Optional[float] = None) -> None:
         """One placement decision: the policy's chosen shape plus the
         decision context (candidate-set size, degraded/trial flags from
         :attr:`~repro.sim.runtime.Decision.meta`, co-location partners
-        resident on the chosen nodes at start time)."""
+        resident on the chosen nodes at start time).  ``xfrac`` is the
+        job's per-node cross-fabric network fraction when its placement
+        spans racks on an active fabric (DESIGN.md §13); the key is
+        appended only when present, so flat-fabric records are
+        byte-identical to the pre-fabric format."""
         placement = decision.placement
         meta = decision.meta or {}
-        self.events.append({
+        record = {
             "ev": "start", "t": t, "job": job.job_id,
             "scale": decision.scale_factor, "procs": job.procs,
             "n_nodes": placement.n_nodes,
@@ -204,7 +215,10 @@ class Tracer:
             "trial": bool(meta.get("trial", False)),
             "nodes": list(placement.node_ids),
             "partners": sorted(partners),
-        })
+        }
+        if xfrac is not None:
+            record["xfrac"] = xfrac
+        self.events.append(record)
 
     def finish(self, t: float, job, n_nodes: int) -> None:
         run = job.run_time
@@ -241,6 +255,22 @@ class Tracer:
         })
 
     # -- events-level records ----------------------------------------------
+
+    def links(self, t: float, tor: Sequence[float], spine: float) -> None:
+        """Physical fabric link state after a cross-rack set change:
+        per-rack ToR uplink utilizations and the spine utilization
+        (DESIGN.md §13).  Emitted only when the cluster runs an active
+        leaf-spine fabric, so flat traces never carry this kind; the
+        emission cadence follows the event-batch structure, so (like
+        every events-level detail) it is only comparable within one
+        cache mode.  The invariant checker replays these records from
+        the decision stream's ``start``/``finish``/``evict`` history
+        and demands exact float equality."""
+        if self.level < TraceLevel.EVENTS:
+            return
+        self.events.append({
+            "ev": "links", "t": t, "tor": list(tor), "spine": spine,
+        })
 
     def sched(self, t: float, pending: int, placed: int, tried: int,
               skipped: int) -> None:

@@ -15,7 +15,7 @@ and threads it through every layer that consults kernel state
 process-global: two simulations in one process — including two running
 concurrently on different threads — can never observe each other's
 cache entries, statistics, or cache-mode flag, which is what makes the
-thread-based grid runner (:mod:`repro.experiments.concurrent`)
+thread executor of :func:`repro.experiments.parallel.run_grid`
 bit-identical to serial execution by construction.
 
 Cache semantics are unchanged from the original module-global design
@@ -115,11 +115,14 @@ class PerfContext:
         #: Batched-kernel instrumentation: arbitration batch calls,
         #: nodes and slices solved (repro.perfmodel.batch), plus
         #: vectorized curve-kernel evaluations (repro.perfmodel.
-        #: curves_vec) and batched finish-time updates (the runtime's
-        #: refresh hot path).
+        #: curves_vec), batched finish-time updates (the runtime's
+        #: refresh hot path), and fabric link-state recomputations /
+        #: per-job route-load evaluations (DESIGN.md §13; zero unless
+        #: the cluster runs an active leaf-spine fabric).
         self.batch_counters: Dict[str, int] = {
             "batch_calls": 0, "batch_nodes": 0, "batch_slices": 0,
             "vec_curve_evals": 0, "vec_finish_updates": 0,
+            "fabric_link_refreshes": 0, "fabric_route_evals": 0,
         }
 
     # -- mode control -------------------------------------------------------

@@ -91,12 +91,21 @@ def job_time(
     per_node: Sequence[NodeConditions],
     spec: NodeSpec,
     ctx: Optional["PerfContext"] = None,
+    route_load: float = 0.0,
 ) -> float:
     """Projected start-to-finish time (s) of the job under the given
     per-node conditions (assumed to persist for the whole run).
 
     ``ctx`` memoizes the per-node rate evaluations; without one every
-    rate is computed from scratch (the reference path)."""
+    rate is computed from scratch (the reference path).
+
+    ``route_load`` is the utilization of the most loaded *fabric* link
+    on the job's route (ToR uplinks / spine, DESIGN.md §13); the comm
+    phase stretches by whichever is larger — node link or fabric link —
+    once that exceeds 1.0.  The default ``0.0`` never changes the
+    congestion value (``max(x, 0.0)`` is a bitwise no-op for the
+    non-negative loads), which is what keeps flat-fabric runs
+    bit-identical."""
     if not per_node:
         raise HardwareModelError("job must occupy at least one node")
     n_nodes = len(per_node)
@@ -129,8 +138,11 @@ def job_time(
     t_ref = reference_time(program, procs, spec)
     comm_time = t_ref * program.comm.comm_fraction(k, n_nodes)
     # Network oversubscription on the job's most loaded node stretches
-    # its communication phases (the link is shared proportionally).
+    # its communication phases (the link is shared proportionally); an
+    # oversubscribed fabric link on the job's route binds the same way.
     congestion = max((c.net_load for c in distinct), default=0.0)
+    if route_load > congestion:
+        congestion = route_load
     if congestion > 1.0:
         comm_time *= congestion
     return compute_time + comm_time

@@ -40,7 +40,8 @@ class CompactShareScheduler(BaseScheduler):
             if self._fail_watermark is None or cores < self._fail_watermark:
                 self._fail_watermark = cores
             chosen = find_nodes(
-                cluster, n_nodes, cores, ways=0, bw=0.0, beta=0.0
+                cluster, n_nodes, cores, ways=0, bw=0.0, beta=0.0,
+                locality=self.config.locality_aware,
             )
             if chosen is None:
                 continue

@@ -40,6 +40,7 @@ def find_nodes(
     bw: float,
     beta: float,
     net: float = 0.0,
+    locality: bool = False,
 ) -> Optional[List[int]]:
     """Find ``n_nodes`` nodes that can each host a slice of ``cores``
     cores, ``ways`` dedicated LLC ways, ``bw`` GB/s booked memory
@@ -47,6 +48,13 @@ def find_nodes(
 
     Returns the chosen node ids (lowest occupancy metric first) or
     ``None`` when the demand cannot be met anywhere.
+
+    ``locality`` routes every selection through the rack-aware
+    :meth:`~repro.sim.cluster.ClusterState.pick_idlest` (fill within one
+    rack before crossing the spine, rack tie-break otherwise; DESIGN.md
+    §13).  The flag changes *which* qualifying nodes are chosen, never
+    whether a demand is satisfiable, so the negative search cache stays
+    keyed on the demand alone.  With no active fabric it is inert.
     """
     if n_nodes < 1 or cores < 1:
         raise SchedulingError("n_nodes and cores must be >= 1")
@@ -100,6 +108,12 @@ def find_nodes(
     def pick(ids: List[int]) -> List[int]:
         if len(ids) <= n_nodes:
             return ids
+        if locality:
+            # Same columnar selection in both cache modes: locality
+            # changes placement decisions, and decisions must stay
+            # cache-mode independent (the golden-trace contract).
+            return cluster.pick_idlest(ids, n_nodes, beta,
+                                       rack_aware=True)
         if cluster.ctx.enabled:
             return cluster.pick_idlest(ids, n_nodes, beta)
         return heapq.nsmallest(n_nodes, ids, key=metric_key)
@@ -115,10 +129,14 @@ def find_nodes(
         if free == total_cores:
             # Fully idle nodes are interchangeable (identical state,
             # metric 0): check one representative instead of scanning
-            # thousands on large clusters.
+            # thousands on large clusters.  Under locality they are
+            # *not* interchangeable — their racks differ — so the pick
+            # goes through the rack-aware selection instead.
             if len(ids) >= n_nodes:
                 it = iter(ids)
                 if cluster.node(next(iter(ids))).can_host(cores, ways, bw, net):
+                    if locality:
+                        return pick(list(ids))
                     return [nid for nid, _ in zip(it, range(n_nodes))]
             continue
         qualified = qualify(ids, free)

@@ -214,6 +214,7 @@ class SpreadNShareScheduler(BaseScheduler):
                 demand.bw_per_node + slack,
                 beta=self.config.beta,
                 net=demand.net_per_node,
+                locality=self.config.locality_aware,
             )
             if chosen is None:
                 continue

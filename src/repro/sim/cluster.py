@@ -143,6 +143,33 @@ class ClusterState:
         # defensive zero-proc edges where columns move but buckets
         # don't.
         self._scan_cache: Dict[int, Dict[tuple, List[int]]] = {}
+        # Leaf-spine fabric (DESIGN.md §13).  ``_fabric`` is non-None
+        # only when the spec attaches a FabricSpec that can ever bind on
+        # this cluster (oversubscribed AND multi-rack) — every fabric
+        # code path below gates on it, which is what keeps flat fabrics
+        # bit-identical to no fabric at all.
+        fabric = self.spec.fabric
+        if fabric is not None and fabric.active_for(n):
+            self._fabric = fabric
+            self._rack_of = fabric.rack_map(n)
+            self._num_racks = fabric.num_racks(n)
+            self._rack_pop = fabric.rack_population(n)
+            # Derived link aggregates over booked_cross: canonical
+            # left-to-right sums in node-id order (rack order for the
+            # spine), recomputed by _refresh_links after every cross
+            # mutation — never maintained incrementally, because the
+            # incremental add order (placement order) is not the
+            # canonical node-id order the exact-float contract re-sums
+            # in.
+            self.booked_tor = np.zeros(self._num_racks, dtype=np.float64)
+            self.booked_spine = 0.0
+        else:
+            self._fabric = None
+            self._rack_of = None
+            self._num_racks = 0
+            self._rack_pop = None
+            self.booked_tor = None
+            self.booked_spine = 0.0
 
     # -- index maintenance -----------------------------------------------------
 
@@ -177,6 +204,14 @@ class ClusterState:
 
         Arguments after ``node_id`` mirror :meth:`NodeState.place`.
         """
+        if net != 0.0 and self._fabric is not None:
+            # A scalar place sees one node, not the whole placement, so
+            # it cannot split the booking into its cross-rack share —
+            # the batched path is the only writer of the link columns.
+            raise AllocationError(
+                "scalar place cannot maintain the fabric link columns "
+                "for a network-booking slice; use place_slices"
+            )
         old = int(self.columns.free_cores[node_id])
         self.nodes[node_id].place(job_id, program, procs, ways, bw,
                                   n_nodes, net)
@@ -189,6 +224,19 @@ class ClusterState:
 
     def remove(self, node_id: int, job_id: int) -> None:
         cols = self.columns
+        if self._fabric is not None:
+            sc = self.scols
+            n = int(cols.n_res[node_id])
+            row = sc.job[node_id, :n].tolist()
+            if job_id in row \
+                    and float(sc.cross[node_id, row.index(job_id)]) != 0.0:
+                # Dropping a cross-booked slice must re-derive the ToR /
+                # spine aggregates over the whole placement; only the
+                # batched path has that context.
+                raise AllocationError(
+                    "scalar remove cannot maintain the fabric link "
+                    "columns for a cross-rack slice; use remove_slices"
+                )
         old = int(cols.free_cores[node_id])
         self.nodes[node_id].remove(job_id)
         new = int(cols.free_cores[node_id])
@@ -303,6 +351,8 @@ class ClusterState:
         if net != 0.0:
             cols.booked_net[arr] += net
             cols.net_eps[arr] = (1.0 - cols.booked_net[arr]) + 1e-9
+            if self._fabric is not None:
+                self._book_cross(arr, slot_pos, net, count)
         # -- per-node bookkeeping ------------------------------------------
         sig_ways = ways if partitioned else 0
         sig_bw = bw if self.enforce_bw else -1.0
@@ -424,6 +474,14 @@ class ClusterState:
             ways = int(sc.ways[arr[0], p0])
         resum = float(sc.bw[arr[0], p0]) != 0.0 \
             or float(sc.net[arr[0], p0]) != 0.0
+        # Cross bookings are uniformly zero (single-rack placement) or
+        # uniformly nonzero (every node of a multi-rack placement sends
+        # *some* traffic off-rack) across one job's slices, so one slice
+        # decides the batch-wide handling — read before compaction
+        # overwrites the slot.  has_cross implies resum (cross is a
+        # share of a nonzero net booking).
+        fabric_active = self._fabric is not None
+        has_cross = fabric_active and float(sc.cross[arr[0], p0]) != 0.0
         # A surviving node with a current signature *shrinks* it in
         # place of a lazy rebuild: dropping position ``idx`` from each
         # parallel tuple and shifting the residual by exactly this
@@ -475,6 +533,8 @@ class ClusterState:
             if resum:
                 sc.bw[arr, 0] = 0.0
                 sc.net[arr, 0] = 0.0
+                if has_cross:
+                    sc.cross[arr, 0] = 0.0
         else:
             empt_rows = arr[~kept]
             sh_rows = arr[kept]
@@ -486,6 +546,8 @@ class ClusterState:
                 if resum:
                     sc.bw[empt_rows, 0] = 0.0
                     sc.net[empt_rows, 0] = 0.0
+                    if has_cross:
+                        sc.cross[empt_rows, 0] = 0.0
             if sh_rows.size:
                 # Shift survivors left of each removed position via one
                 # contiguous slice copy per (distinct position, column):
@@ -506,6 +568,13 @@ class ClusterState:
                             sc.ways[rows, p + 1:width + 1]
                     sc.bw[rows, p:width] = sc.bw[rows, p + 1:width + 1]
                     sc.net[rows, p:width] = sc.net[rows, p + 1:width + 1]
+                    if fabric_active:
+                        # Survivors to the right of the removed slot may
+                        # carry cross bookings of *other* jobs even when
+                        # the removed job itself had none, so the shift
+                        # gates on fabric presence, not has_cross.
+                        sc.cross[rows, p:width] = \
+                            sc.cross[rows, p + 1:width + 1]
         entry = sc.meta[job_id]
         if entry[2] <= count:
             del sc.meta[job_id]
@@ -521,6 +590,8 @@ class ClusterState:
                 cols.bw_eps[empt] = (cols.peak_bw - 0.0) + 1e-9
                 cols.booked_net[empt] = 0.0
                 cols.net_eps[empt] = (1.0 - 0.0) + 1e-9
+                if has_cross:
+                    cols.booked_cross[empt] = 0.0
             if kept_any and sh_rows.size:
                 # Left-to-right column adds over the compacted rows are
                 # bit-identical to a Python sum in insertion order: the
@@ -541,6 +612,17 @@ class ClusterState:
                     + 1e-9
                 cols.booked_net[sh] = tot_net
                 cols.net_eps[sh] = (1.0 - cols.booked_net[sh]) + 1e-9
+                if has_cross:
+                    cross_rows = sc.cross[sh, :span]
+                    tot_cross = cross_rows[:, 0].copy()
+                    for k in range(1, span):
+                        tot_cross += cross_rows[:, k]
+                    cols.booked_cross[sh] = tot_cross
+            if has_cross:
+                # Dropping an exact-0.0 cross booking preserves the ToR
+                # partial sums bitwise, so the aggregates only need
+                # re-deriving when the removed slices crossed racks.
+                self._refresh_links(np.unique(self._rack_of[arr]))
         self._reindex_batch(node_ids, old_free, procs_list, +1)
         self.release_epoch += 1
 
@@ -619,6 +701,58 @@ class ClusterState:
                     scache.pop(old, None)
                     scache.pop(new, None)
             start = stop
+
+    # -- fabric link accounting (DESIGN.md §13) ---------------------------------
+
+    def _book_cross(self, arr: np.ndarray, slot_pos: np.ndarray,
+                    net: float, count: int) -> None:
+        """Install the cross-rack share of one placement's ``net``
+        booking on the slice/node cross columns and re-derive the link
+        aggregates.  Called only with an active fabric and ``net != 0``.
+
+        A job spread over ``count`` nodes keeps traffic to rack-mates
+        in-rack: a node sharing its rack with ``same`` of the job's
+        nodes sends the fraction ``(count - same) / (count - 1)`` of its
+        booking through the ToR uplink (uniform all-to-all peers, one
+        fixed operation order so the invariant replay can reproduce the
+        value exactly).  A single-rack placement books no cross traffic
+        at all — compact placements are free on the fabric, which is
+        exactly the asymmetry the locality-aware spreading exploits.
+        """
+        if count <= 1:
+            return
+        racks = self._rack_of[arr]
+        uniq, inv, cnt = np.unique(racks, return_inverse=True,
+                                   return_counts=True)
+        if uniq.size == 1:
+            return
+        cross = net * (count - cnt[inv]) / (count - 1)
+        sc = self.scols
+        cols = self.columns
+        sc.cross[arr, slot_pos] = cross
+        # Same discipline as booked_net: one elementwise IEEE addition
+        # extends the per-node left-to-right sum exactly.
+        cols.booked_cross[arr] += cross
+        self._refresh_links(uniq)
+
+    def _refresh_links(self, racks: np.ndarray) -> None:
+        """Re-derive ``booked_tor`` for the given racks and
+        ``booked_spine``, as canonical left-to-right sums over
+        ``booked_cross`` in node-id order (rack order for the spine) —
+        the exact-float contract :meth:`verify_columns` checks.  Racks
+        whose members' cross bookings did not change keep their stored
+        sums (those are unchanged by construction)."""
+        cols = self.columns
+        tor = self.booked_tor
+        rack_size = self._fabric.rack_size
+        n = len(self.nodes)
+        booked = cols.booked_cross
+        for r in racks.tolist():
+            lo = r * rack_size
+            tor[r] = sum(booked[lo:min(lo + rack_size, n)].tolist())
+        # 0.0 + x is a bitwise no-op for the non-negative per-rack sums,
+        # so Python's sum() IS the left-to-right rack-order total.
+        self.booked_spine = sum(tor.tolist())
 
     # -- availability (fault injection, DESIGN.md §8) ---------------------------
 
@@ -708,7 +842,14 @@ class ClusterState:
         arr = None
         memo = None
         dkey = None
-        if bucket is not None and self.ctx.enabled:
+        # The ToR headroom mask below depends on link state that changes
+        # *without* the bucket's membership changing (a placement on the
+        # rack's other members books the shared uplink), so net-booking
+        # scans under an active fabric bypass the per-bucket scan memo —
+        # its unchanged-membership-implies-unchanged-state premise does
+        # not hold for them.
+        fabric_net = net > 0.0 and self._fabric is not None
+        if bucket is not None and self.ctx.enabled and not fabric_net:
             # Scan-result memo: congested replays retry near-identical
             # demands against unchanged buckets; a hit skips the whole
             # column scan.  The copy keeps callers from aliasing the
@@ -747,6 +888,15 @@ class ClusterState:
                 self._scan_cache.setdefault(bucket, {})[dkey] = out
                 return list(out)
             return out
+        # Per-rack ToR headroom: a node can take a net-booking slice
+        # only if its rack's uplink could still carry the booking even
+        # in the worst case (all of it crossing the spine).  This is a
+        # conservative *feasibility* mask — the eventual placement may
+        # book less (or no) cross traffic if it lands compactly.
+        tor_ok = None
+        if fabric_net:
+            cap = self._rack_pop / self._fabric.oversubscription
+            tor_ok = self.booked_tor + net <= cap + 1e-9
         # Chunked scan with early stop: callers only consume the first
         # ``limit`` qualifiers (in id-array order, which chunking
         # preserves), so wide buckets stop as soon as the quota is
@@ -773,6 +923,8 @@ class ClusterState:
             if net > 0.0:
                 m = cols.net_eps[sub] >= net
                 ok = m if ok is None else ok & m
+                if tor_ok is not None:
+                    ok &= tor_ok[self._rack_of[sub]]
             out.extend(sub[ok].tolist())
         if len(out) > limit:
             out = out[:limit]
@@ -781,14 +933,27 @@ class ClusterState:
             return list(out)
         return out
 
-    def pick_idlest(self, ids: List[int], n: int, beta: float) -> List[int]:
+    def pick_idlest(self, ids: List[int], n: int, beta: float,
+                    rack_aware: bool = False) -> List[int]:
         """The ``n`` ids with the lowest occupancy metric (ties broken by
         node id), metric-ascending — matches ``heapq.nsmallest`` over
         :meth:`NodeState.occupancy_metric` bit-for-bit: the metric is
         evaluated with elementwise numpy arithmetic in the same operation
         order as the scalar expression, and the used-core / allocated-way
         operands are exact integer complements of the columnar free
-        counts."""
+        counts.
+
+        ``rack_aware`` (locality-aware SNS under an active fabric)
+        changes selection in two steps.  If any single rack contributes
+        at least ``n`` candidates, the pick is confined to the rack of
+        the idlest such candidate — the job fills within one rack and
+        crosses no spine link at all.  Otherwise a tie-break is inserted
+        *between* metric and node id: among equal-metric candidates,
+        prefer nodes whose rack contributes more candidates, so the
+        picked set concentrates in as few racks as possible.  With no
+        active fabric the flag is inert — selection order is exactly
+        the flat one.
+        """
         cols = self.columns
         arr = np.fromiter(ids, dtype=np.int64, count=len(ids))
         co = (cols.cores - cols.free_cores[arr]) / cols.cores
@@ -800,7 +965,24 @@ class ClusterState:
             # Unpartitioned ledgers never allocate ways: Wo is 0.0 and
             # adding beta * 0.0 is a bitwise no-op on the scalar path.
             metric = co + bo
-        order = np.lexsort((arr, metric))[:n]
+        if rack_aware and self._fabric is not None:
+            racks = self._rack_of[arr]
+            pop = np.bincount(racks, minlength=self._num_racks)[racks]
+            full = pop >= n
+            if full.any():
+                # Fill within one rack before crossing the spine:
+                # confine the pick to the rack of the idlest candidate
+                # that has enough rack-mates in this candidate set.
+                by_metric = np.lexsort((arr, metric))
+                best = by_metric[full[by_metric]][0]
+                keep = racks == racks[best]
+                arr = arr[keep]
+                metric = metric[keep]
+                order = np.lexsort((arr, metric))[:n]
+            else:
+                order = np.lexsort((arr, -pop, metric))[:n]
+        else:
+            order = np.lexsort((arr, metric))[:n]
         return arr[order].tolist()
 
     def groups_by_free_cores(self, min_free: int = 1) -> Dict[int, List[int]]:
@@ -1161,7 +1343,7 @@ class ClusterState:
                     f"node {nid}: duplicate resident job: {jrow[:m]}"
                 )
             for name, fill in (("procs", 0), ("ways", 0),
-                               ("bw", 0.0), ("net", 0.0)):
+                               ("bw", 0.0), ("net", 0.0), ("cross", 0.0)):
                 tail = getattr(sc, name)[nid, m:]
                 if bool((tail != fill).any()):
                     raise SimulationError(
@@ -1211,6 +1393,27 @@ class ClusterState:
             if float(cols.net_eps[nid]) != (1.0 - booked_net) + 1e-9:
                 raise SimulationError(
                     f"node {nid}: net_eps column out of sync"
+                )
+            booked_cross = sum(sc.cross[nid, :m].tolist())
+            if float(cols.booked_cross[nid]) != booked_cross:
+                raise SimulationError(
+                    f"node {nid}: booked_cross column "
+                    f"{float(cols.booked_cross[nid])!r} != {booked_cross!r}"
+                )
+        if self._fabric is not None:
+            num_nodes = len(self.nodes)
+            for r in range(self._num_racks):
+                lo, hi = self._fabric.rack_span(r, num_nodes)
+                expect = sum(cols.booked_cross[lo:hi].tolist())
+                if float(self.booked_tor[r]) != expect:
+                    raise SimulationError(
+                        f"rack {r}: booked_tor "
+                        f"{float(self.booked_tor[r])!r} != {expect!r}"
+                    )
+            expect = sum(self.booked_tor.tolist())
+            if self.booked_spine != expect:
+                raise SimulationError(
+                    f"booked_spine {self.booked_spine!r} != {expect!r}"
                 )
         for jid, n_slices in refcounts.items():
             if sc.meta[jid][2] != n_slices:

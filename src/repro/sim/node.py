@@ -57,7 +57,7 @@ class NodeColumns:
     __slots__ = (
         "spec", "cores", "llc_ways", "peak_bw", "min_ways",
         "max_partitions", "free_cores", "free_ways", "parts", "n_res",
-        "booked_bw", "booked_net", "bw_eps", "net_eps",
+        "booked_bw", "booked_net", "booked_cross", "bw_eps", "net_eps",
     )
 
     def __init__(self, n: int, spec: NodeSpec) -> None:
@@ -73,6 +73,12 @@ class NodeColumns:
         self.n_res = np.zeros(n, dtype=np.int64)
         self.booked_bw = np.zeros(n, dtype=np.float64)
         self.booked_net = np.zeros(n, dtype=np.float64)
+        # Booked *cross-rack* link fraction per node (the part of
+        # ``booked_net`` that leaves the rack through the ToR uplink);
+        # mutated only when the cluster's fabric is active, with the same
+        # float discipline as booked_net.  The per-rack ToR and spine
+        # aggregates are derived from this column (ClusterState).
+        self.booked_cross = np.zeros(n, dtype=np.float64)
         self.bw_eps = np.full(n, spec.peak_bw + 1e-9, dtype=np.float64)
         self.net_eps = np.full(n, 1.0 + 1e-9, dtype=np.float64)
 
@@ -100,8 +106,8 @@ class SliceColumns:
     pool, so scalar per-node place/remove keep it exact.
     """
 
-    __slots__ = ("slots", "job", "procs", "ways", "bw", "net", "meta",
-                 "sig")
+    __slots__ = ("slots", "job", "procs", "ways", "bw", "net", "cross",
+                 "meta", "sig")
 
     def __init__(self, n: int, slots: int) -> None:
         # One extra physical column beyond the logical slot count: a
@@ -114,6 +120,9 @@ class SliceColumns:
         self.ways = np.zeros((n, slots + 1), dtype=np.int64)
         self.bw = np.zeros((n, slots + 1), dtype=np.float64)
         self.net = np.zeros((n, slots + 1), dtype=np.float64)
+        # Cross-rack share of ``net`` per slice (zero unless the
+        # cluster's fabric is active and the slice's job spans racks).
+        self.cross = np.zeros((n, slots + 1), dtype=np.float64)
         self.meta: Dict[int, Tuple[ProgramSpec, int, int]] = {}
         # Per-node cached arbitration signature (see NodeState.
         # arb_signature) as an object column, so batched place/remove
@@ -128,7 +137,7 @@ class SliceColumns:
         n = self.job.shape[0]
         new = self.slots * 2
         for name, fill in (("job", -1), ("procs", 0), ("ways", 0),
-                           ("bw", 0.0), ("net", 0.0)):
+                           ("bw", 0.0), ("net", 0.0), ("cross", 0.0)):
             old = getattr(self, name)
             wide = np.full((n, new + 1), fill, dtype=old.dtype)
             wide[:, :old.shape[1]] = old
@@ -361,11 +370,13 @@ class NodeState:
             sc.ways[slot, k:n - 1] = sc.ways[slot, k + 1:n]
             sc.bw[slot, k:n - 1] = sc.bw[slot, k + 1:n]
             sc.net[slot, k:n - 1] = sc.net[slot, k + 1:n]
+            sc.cross[slot, k:n - 1] = sc.cross[slot, k + 1:n]
         sc.job[slot, n - 1] = -1
         sc.procs[slot, n - 1] = 0
         sc.ways[slot, n - 1] = 0
         sc.bw[slot, n - 1] = 0.0
         sc.net[slot, n - 1] = 0.0
+        sc.cross[slot, n - 1] = 0.0
         entry = sc.meta[job_id]
         if entry[2] <= 1:
             del sc.meta[job_id]

@@ -269,6 +269,35 @@ class SchedulerCore:
             tracer = Tracer.from_config(config.trace, cluster_spec.num_nodes)
         self.tracer = tracer
         self._spec = cluster_spec.node
+        # Physical leaf-spine link loads (DESIGN.md §13).  The cluster's
+        # *booked* link columns answer scheduling feasibility; the perf
+        # charge here is physical: every running cross-rack job loads
+        # the ToR uplinks and the spine in proportion to its
+        # communication fraction, whatever the policy placed it (CE/CS
+        # book no network yet still congest the fabric).  ``_cross_jobs``
+        # maps job_id -> (net fraction, n_nodes, ((rack, nodes), ...))
+        # for running jobs that span racks; ``_route_loads`` holds the
+        # derived utilization of the most loaded link on each such job's
+        # route, rebuilt by _recompute_fabric_loads whenever the cross
+        # set changes.  On a flat fabric ``_fabric`` is None and both
+        # dicts stay empty, so every fabric branch below degenerates to
+        # one cheap check and the run is bit-identical to pre-fabric
+        # behavior.
+        n = cluster_spec.num_nodes
+        fabric = cluster_spec.fabric
+        if fabric is not None and fabric.active_for(n):
+            self._fabric = fabric
+            self._f_rack_of = fabric.rack_map(n)
+            self._f_num_racks = fabric.num_racks(n)
+            self._f_rack_pop = [int(p) for p in fabric.rack_population(n)]
+        else:
+            self._fabric = None
+            self._f_rack_of = None
+            self._f_num_racks = 0
+            self._f_rack_pop = []
+        self._cross_jobs: Dict[int, tuple] = {}
+        self._route_loads: Dict[int, float] = {}
+        self._fabric_dirty = False
         # Incremental liveness state: counting running jobs here keeps
         # _check_liveness O(1) instead of an O(total-jobs) scan at every
         # scheduling point of a 7K-job trace replay.
@@ -386,6 +415,7 @@ class SchedulerCore:
             for nid in range(len(self.cluster.nodes)):
                 self.telemetry.record(nid, 0.0, 0.0)
         if self.tracer is not None:
+            fabric = self._fabric
             self.tracer.meta(
                 policy=type(self.policy).__name__,
                 partitioned=self.policy.partitioned,
@@ -394,6 +424,10 @@ class SchedulerCore:
                 llc_ways=self._spec.llc_ways,
                 peak_bw=self._spec.peak_bw,
                 n_jobs=len(self.jobs),
+                fabric=None if fabric is None else {
+                    "rack_size": fabric.rack_size,
+                    "oversub": fabric.oversubscription,
+                },
             )
 
     @property
@@ -608,6 +642,8 @@ class SchedulerCore:
         if self.tracer is not None:
             self.tracer.finish(now, job, placement.n_nodes)
         self._job_conds.pop(job.job_id, None)
+        if self._fabric is not None:
+            self._fabric_note_end(job.job_id)
         self._running -= 1
         self._terminal += 1
         self._turnaround_sum += job.turnaround_time
@@ -650,6 +686,8 @@ class SchedulerCore:
         lost_before = job.lost_node_seconds if tracer is not None else 0.0
         job.evict(now)
         self._job_conds.pop(job.job_id, None)
+        if self._fabric is not None:
+            self._fabric_note_end(job.job_id)
         self._running -= 1
         self._counters["job_evictions"] += 1
         self.policy.on_job_evict(job, now)
@@ -687,6 +725,85 @@ class SchedulerCore:
         if not up:
             self._counters["profile_outages"] += 1
         self.policy.set_profile_store_available(up)
+
+    # ------------------------------------------------------ fabric tracking
+
+    def _fabric_note_start(self, job: Job,
+                           placement: Placement) -> Optional[float]:
+        """Register a just-started job with the physical fabric tracker.
+
+        Returns the job's per-node cross-fabric network fraction (the
+        tracer's ``xfrac``), or ``None`` when the placement stays inside
+        one rack or the program never communicates — such jobs put no
+        traffic on the ToR uplinks or the spine.  Only called when the
+        fabric is active."""
+        node_ids = placement.node_ids
+        count = len(node_ids)
+        if count <= 1:
+            return None
+        arr = np.fromiter(node_ids, dtype=np.int64, count=count)
+        uniq, cnt = np.unique(self._f_rack_of[arr], return_counts=True)
+        if uniq.size == 1:
+            return None
+        frac = self.ctx.network_fraction(job.program, count)
+        if frac == 0.0:
+            return None
+        rack_counts = tuple(zip(uniq.tolist(), cnt.tolist()))
+        self._cross_jobs[job.job_id] = (frac, count, rack_counts)
+        self._fabric_dirty = True
+        return frac
+
+    def _fabric_note_end(self, job_id: int) -> None:
+        """Deregister a finished/evicted job; no-op for jobs that never
+        crossed racks.  Only called when the fabric is active."""
+        if self._cross_jobs.pop(job_id, None) is not None:
+            self._route_loads.pop(job_id, None)
+            self._fabric_dirty = True
+
+    def _recompute_fabric_loads(self, now: float) -> None:
+        """Rebuild the physical per-link loads and per-job route loads
+        from the cross-rack running set.
+
+        Deterministic by construction: jobs accumulate in sorted-id
+        order with a fixed operation sequence, so the invariant
+        checker's replay (:func:`repro.obs.invariants.check_trace`)
+        reproduces every float exactly from the trace's ``start``
+        records.  A job on ``n`` nodes with ``s`` of them in rack ``r``
+        sends fraction ``(n - s) / (n - 1)`` of its per-node traffic
+        across that rack's uplink (uniform partner model, DESIGN.md
+        §13), so the rack's load gains ``frac * ((n - s) / (n - 1)) * s``
+        and everything crossing an uplink also crosses the spine."""
+        fabric = self._fabric
+        num_nodes = len(self.cluster.nodes)
+        num_racks = self._f_num_racks
+        cross = self._cross_jobs
+        tor = [0.0] * num_racks
+        for jid in sorted(cross):
+            frac, n, rack_counts = cross[jid]
+            for r, s in rack_counts:
+                tor[r] += frac * ((n - s) / (n - 1)) * s
+        spine = 0.0
+        for load in tor:
+            spine += load
+        pop = self._f_rack_pop
+        tor_util = [
+            fabric.tor_utilization(tor[r], pop[r])
+            for r in range(num_racks)
+        ]
+        spine_util = fabric.spine_utilization(spine, num_nodes)
+        route_loads: Dict[int, float] = {}
+        for jid, (frac, n, rack_counts) in cross.items():
+            load = spine_util
+            for r, _s in rack_counts:
+                if tor_util[r] > load:
+                    load = tor_util[r]
+            route_loads[jid] = load
+        self._route_loads = route_loads
+        counters = self.ctx.batch_counters
+        counters["fabric_link_refreshes"] += 1
+        counters["fabric_route_evals"] += len(route_loads)
+        if self.tracer is not None:
+            self.tracer.links(now, tor_util, spine_util)
 
     def _scheduling_point(self, now: float,
                           affected: Set[int], touched: Set[int]) -> None:
@@ -742,6 +859,9 @@ class SchedulerCore:
             job.begin(now, work, d.placement, d.scale_factor)
             self._running += 1
             affected.add(job.job_id)
+            xfrac = None
+            if self._fabric is not None:
+                xfrac = self._fabric_note_start(job, d.placement)
             if tracer is not None:
                 unstarted.discard(job.job_id)
                 partners = self.cluster.resident_jobs_on(
@@ -749,7 +869,7 @@ class SchedulerCore:
                 )
                 partners.discard(job.job_id)
                 partners -= unstarted
-                tracer.start(now, job, d, partners)
+                tracer.start(now, job, d, partners, xfrac=xfrac)
 
     def _check_liveness(self) -> None:
         if self.pending and self._running == 0 \
@@ -807,6 +927,19 @@ class SchedulerCore:
         are re-solved; the untouched nodes of wide affected jobs are
         read back from the cache.
         """
+        if self._fabric is not None and self._fabric_dirty:
+            self._fabric_dirty = False
+            # Every cross-rack job shares the spine, so a change in the
+            # cross set moves all of their route loads: settle each at
+            # its old speed (re-settling an already-settled batch member
+            # is an exact no-op) and fold them into the refresh set so
+            # they re-derive speed below.
+            for jid in self._cross_jobs:
+                job = self.jobs[jid]
+                if job.state is JobState.RUNNING:
+                    job.settle_progress(now)
+            self._recompute_fabric_loads(now)
+            job_ids = job_ids | self._cross_jobs.keys()
         if self.ctx.enabled:
             self._refresh_incremental(job_ids, touched_nodes, now)
             return
@@ -857,7 +990,10 @@ class SchedulerCore:
                     )
                     interned[key] = cond
                 conditions.append(cond)
-            t_now = job_time(job.program, job.procs, conditions, self._spec)
+            t_now = job_time(
+                job.program, job.procs, conditions, self._spec,
+                route_load=self._route_loads.get(jid, 0.0),
+            )
             t_ref = reference_time(job.program, job.procs, self._spec)
             job.set_speed(t_ref / t_now)
             if trace_full:
@@ -1023,7 +1159,8 @@ class SchedulerCore:
                             del key_counts[old]
                         key_counts[key] = key_counts.get(key, 0) + 1
             t_nows.append(self._job_time_from_keys(
-                job.program, job.procs, key_counts, placement.n_nodes
+                job.program, job.procs, key_counts, placement.n_nodes,
+                self._route_loads.get(jid, 0.0),
             ))
             t_refs.append(reference_time(job.program, job.procs, self._spec))
 
@@ -1074,7 +1211,8 @@ class SchedulerCore:
 
     def _job_time_from_keys(self, program, procs: int,
                             key_counts: Dict[tuple, int],
-                            n_nodes: int) -> float:
+                            n_nodes: int,
+                            route_load: float = 0.0) -> float:
         """:func:`job_time` evaluated from the distinct condition keys of
         a running job.  job_time reduces the per-node list to its
         distinct condition set before computing anything (slowest rate,
@@ -1103,6 +1241,10 @@ class SchedulerCore:
         t_ref = reference_time(program, procs, spec)
         comm_time = t_ref * program.comm.comm_fraction(k, n_nodes)
         congestion = max(key[3] for key in key_counts)
+        # Fabric route congestion binds exactly like node-link
+        # congestion (see job_time); 0.0 never changes the value.
+        if route_load > congestion:
+            congestion = route_load
         if congestion > 1.0:
             comm_time *= congestion
         return compute_time + comm_time

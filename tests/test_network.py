@@ -13,16 +13,25 @@ def net() -> NetworkModel:
 
 class TestTransferTime:
     def test_pure_bandwidth_term(self, net):
-        t = net.transfer_time(6.8, n_messages=0)
-        assert t == pytest.approx(1.0)
+        t = net.transfer_time(6.8, n_messages=1)
+        assert t == pytest.approx(1.0, rel=1e-5)
 
     def test_latency_term_additive(self, net):
-        base = net.transfer_time(1.0, n_messages=0)
-        with_msgs = net.transfer_time(1.0, n_messages=1000)
+        base = net.transfer_time(1.0, n_messages=1)
+        with_msgs = net.transfer_time(1.0, n_messages=1001)
         assert with_msgs - base == pytest.approx(1000 * 1.5e-6)
 
     def test_zero_volume_only_latency(self, net):
         assert net.transfer_time(0.0, 1) == pytest.approx(1.5e-6)
+
+    def test_zero_volume_zero_messages_is_free(self, net):
+        assert net.transfer_time(0.0, n_messages=0) == 0.0
+
+    def test_volume_without_messages_rejected(self, net):
+        # n_messages=0 with a nonzero volume would silently drop the
+        # latency term; the model rejects it instead.
+        with pytest.raises(HardwareModelError):
+            net.transfer_time(1.0, n_messages=0)
 
     def test_negative_volume_rejected(self, net):
         with pytest.raises(HardwareModelError):

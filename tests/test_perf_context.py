@@ -8,7 +8,6 @@ import pytest
 
 from repro.apps.catalog import get_program
 from repro.config import SimConfig
-from repro.experiments.concurrent import run_grid_threads
 from repro.experiments.parallel import run_grid
 from repro.hardware.topology import ClusterSpec
 from repro.perfmodel.context import PerfContext, resolve_cache_mode
@@ -220,10 +219,3 @@ class TestThreadInterleaving:
 
         with pytest.raises(ValueError):
             run_grid(boom, [1, 2], executor="threads", jobs=2)
-
-    def test_run_grid_threads_alias_deprecated(self):
-        tasks = [(3, True), (4, True)]
-        with pytest.warns(DeprecationWarning,
-                          match="run_grid_threads is deprecated"):
-            threaded = run_grid_threads(_run_point, tasks, threads=2)
-        assert threaded == [_run_point(t) for t in tasks]

@@ -14,7 +14,7 @@ from repro.experiments.ablations import run_ablation
 from repro.experiments.common import run_all_policies
 from repro.experiments.fig14_throughput import run_fig14
 from repro.experiments.fig20_large_cluster import run_fig20
-from repro.experiments.parallel import grid_map, resolve_jobs, run_grid
+from repro.experiments.parallel import resolve_jobs, run_grid
 from repro.hardware.topology import ClusterSpec
 from repro.perfmodel.context import PerfContext
 from repro.sim.cluster import ClusterState
@@ -313,10 +313,6 @@ class TestParallelGrid:
             run_grid(_explode, [1, 2], executor="processes", jobs=2)
         with pytest.raises(ValueError):
             run_grid(_explode, [1, 2])
-
-    def test_grid_map_alias_deprecated(self):
-        with pytest.warns(DeprecationWarning, match="grid_map is deprecated"):
-            assert grid_map(_square, [3, 1, 2], jobs=2) == [9, 1, 4]
 
     def test_fig14_parallel_matches_serial(self):
         serial = run_fig14(n_sequences=2)

@@ -91,6 +91,8 @@ COUNTER_COLUMNS = (
     "demand_cache_hits",
     "vec_curve_evals",
     "vec_finish_updates",
+    "fabric_link_refreshes",
+    "fabric_route_evals",
 )
 
 
@@ -352,6 +354,114 @@ def run_trace_gate(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_oversub_gate(args: argparse.Namespace) -> int:
+    """``--oversub-gate``: the leaf-spine fabric smoke entry.
+
+    Runs the fig_oversub sweep (CE/CS/SNS/locality-aware SNS while ToR
+    oversubscription sweeps 1:1 → 8:1 on the default 64-node, rack-of-4
+    cluster) and enforces two contracts:
+
+    * **flat-degenerate bit-identity** — every 1:1 point must reproduce
+      the same variant replayed on a fabric-less ``ClusterSpec``
+      exactly, and the whole grid must match any committed
+      ``fig-oversub`` entry in BENCH_sim.json (exit 2 on divergence);
+    * **locality divergence** — at the top swept ratio, locality-aware
+      SNS must evaluate strictly fewer fabric routes than plain SNS (it
+      fills racks before crossing the spine), so the knob failing to
+      change placements turns the gate red rather than passing quietly.
+
+    The grid is merged into BENCH_sim.json under ``fig-oversub`` with
+    the fabric link counters alongside the headline numbers.
+    """
+    from repro.experiments.fig_oversub import (
+        N_JOBS, NUM_NODES as OV_NODES, PROGRAMS, SEED as OV_SEED,
+        VARIANTS, _variant_config, format_fig_oversub, run_fig_oversub,
+    )
+    from repro.workloads.sequences import random_sequence
+
+    print("oversub gate: fig_oversub sweep "
+          f"({OV_NODES} nodes, {N_JOBS} jobs) ...")
+    start = time.perf_counter()
+    result = run_fig_oversub()
+    elapsed = time.perf_counter() - start
+    print(format_fig_oversub(result))
+    print(f"total: {elapsed:.2f}s")
+
+    # Flat-degenerate contract: a 1:1 fabric must be indistinguishable
+    # from no fabric at all, bit for bit.
+    sequence = random_sequence(seed=OV_SEED, n_jobs=N_JOBS,
+                               program_names=PROGRAMS)
+    problems = []
+    ratios = sorted({p.oversub for p in result.points})
+    for variant in VARIANTS:
+        policy, sched_config = _variant_config(variant)
+        flat = run_all_policies(
+            ClusterSpec(num_nodes=OV_NODES), sequence,
+            policy_names=(policy,), scheduler_config=sched_config,
+            sim_config=SimConfig(telemetry=False),
+        )[policy]
+        point = result.get(ratios[0], variant)
+        if (point.makespan, point.mean_turnaround) != \
+                (flat.makespan, flat.mean_turnaround()):
+            problems.append(
+                f"{variant} at {ratios[0]:g}:1: "
+                f"({point.makespan}, {point.mean_turnaround}) != flat "
+                f"({flat.makespan}, {flat.mean_turnaround()})"
+            )
+    if problems:
+        print(f"FATAL: 1:1 fabric diverges from the flat network "
+              f"({len(problems)} mismatches):", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        return 2
+
+    top = ratios[-1]
+    sns = result.get(top, "SNS")
+    loc = result.get(top, "SNS+loc")
+    print(f"locality divergence at {top:g}:1: SNS {sns.route_evals} "
+          f"route evals vs SNS+loc {loc.route_evals}")
+    if not loc.route_evals < sns.route_evals:
+        print("FATAL: locality-aware SNS does not reduce fabric route "
+              "evaluations — the locality knob changed nothing",
+              file=sys.stderr)
+        return 2
+
+    entry = {
+        "grid": f"fig-oversub {OV_NODES}n",
+        "total_wall_s": round(elapsed, 4),
+        "configs": [
+            {
+                "policy": p.variant,
+                "nodes": OV_NODES,
+                "ratio": p.oversub,
+                "makespan": p.makespan,
+                "mean_turnaround": p.mean_turnaround,
+                "counters": {
+                    "fabric_link_refreshes": p.link_refreshes,
+                    "fabric_route_evals": p.route_evals,
+                },
+            }
+            for p in result.points
+        ],
+    }
+    path = Path(args.output)
+    report = json.loads(path.read_text()) if path.exists() else {}
+    report[args.label or "fig-oversub"] = entry
+    problems = check_divergence(report, args.label or "fig-oversub")
+    if problems:
+        print(f"FATAL: results diverge between entries "
+              f"({len(problems)} mismatches):", file=sys.stderr)
+        for line in problems:
+            print(f"  {line}", file=sys.stderr)
+        print("not writing BENCH_sim.json — fix the divergence first",
+              file=sys.stderr)
+        return 2
+    path.write_text(json.dumps(report, indent=1) + "\n")
+    print(f"wrote {path}")
+    print("oversub gate passed")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--label", default=None,
@@ -380,6 +490,12 @@ def main(argv=None) -> int:
                         help="with --trace-gate: export one traced "
                              "config's Chrome trace_event file (CI "
                              "artifact)")
+    parser.add_argument("--oversub-gate", action="store_true",
+                        help="run the fig_oversub fabric sweep, gate the "
+                             "flat-degenerate bit-identity contract and "
+                             "the locality divergence, and merge the "
+                             "entry into BENCH_sim.json (exit 2 on any "
+                             "divergence)")
     parser.add_argument("--profile", action="store_true",
                         help="run the serial grid under cProfile and "
                              "emit the top-25 cumulative-time table "
@@ -394,6 +510,8 @@ def main(argv=None) -> int:
 
     if args.trace_gate:
         return run_trace_gate(args)
+    if args.oversub_gate:
+        return run_oversub_gate(args)
     if args.profile:
         return run_profiled(args)
 

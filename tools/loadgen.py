@@ -43,6 +43,29 @@ def percentile(sorted_values: List[float], q: float) -> float:
     return sorted_values[rank - 1]
 
 
+def parse_fabric(spec: Optional[str]):
+    """Parse ``--fabric RACK_SIZE:OVERSUB`` (e.g. ``8:4``) into a
+    :class:`~repro.hardware.fabric.FabricSpec`; ``None`` stays flat."""
+    if spec is None:
+        return None
+    from repro.hardware.fabric import FabricSpec
+
+    parts = spec.split(":")
+    if len(parts) != 2:
+        raise SystemExit(
+            f"loadgen: bad --fabric {spec!r} (expected RACK_SIZE:OVERSUB, "
+            f"e.g. 8:4)"
+        )
+    try:
+        rack_size, oversub = int(parts[0]), float(parts[1])
+    except ValueError:
+        raise SystemExit(
+            f"loadgen: bad --fabric {spec!r} (expected RACK_SIZE:OVERSUB, "
+            f"e.g. 8:4)"
+        ) from None
+    return FabricSpec(rack_size=rack_size, oversubscription=oversub)
+
+
 def smoke_workload(seed: int, n_jobs: int, max_width: int):
     """A small Trinity-shaped arrival stream: power-law widths capped
     at ``max_width`` nodes, log-normal runtimes, bursty arrivals over
@@ -104,8 +127,9 @@ def run(args: argparse.Namespace) -> int:
         from repro.service import SchedulerMaster, serve_in_thread
         from repro.sim.runtime import SchedulerCore
 
+        fabric = parse_fabric(args.fabric)
         core = SchedulerCore.from_policy_name(
-            args.policy, ClusterSpec(num_nodes=args.nodes),
+            args.policy, ClusterSpec(num_nodes=args.nodes, fabric=fabric),
             sim_config=SimConfig(
                 telemetry=False,
                 perf_caches=False if args.no_caches else None,
@@ -114,8 +138,12 @@ def run(args: argparse.Namespace) -> int:
         master = SchedulerMaster(core, queue_limit=args.queue_limit)
         handle = serve_in_thread(master)
         host, port = handle.host, handle.port
+        topo = "flat network" if fabric is None else (
+            f"racks of {fabric.rack_size}, "
+            f"{fabric.oversubscription:g}:1 oversub"
+        )
         print(f"loadgen: started in-process service on {host}:{port} "
-              f"(policy {args.policy}, {args.nodes} nodes)")
+              f"(policy {args.policy}, {args.nodes} nodes, {topo})")
     else:
         host, port = args.host, args.port
 
@@ -186,6 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="admission queue bound for --serve")
     parser.add_argument("--no-caches", action="store_true",
                         help="run --serve on the reference kernels")
+    parser.add_argument(
+        "--fabric", default=None, metavar="RACK_SIZE:OVERSUB",
+        help="leaf-spine fabric for --serve (e.g. 8:4 = racks of 8 at "
+             "4:1 oversubscription); default flat network",
+    )
     parser.add_argument("--jobs", type=int, default=100)
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--max-width", type=int, default=4,
